@@ -1,0 +1,62 @@
+//! Ablation benches over the demand-model constants DESIGN.md calls
+//! out: how the tick cost scales with surge activity, parking, and
+//! catalog size. (The *qualitative* ablations — what the constants do
+//! to the figures — are visible by re-running `repro` with modified
+//! profiles; these benches pin the performance envelope.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cloud_sim::catalog::Catalog;
+use cloud_sim::cloud::Cloud;
+use cloud_sim::config::{DemandProfile, SimConfig};
+use std::hint::black_box;
+
+fn cloud_with(profile: DemandProfile, seed: u64) -> Cloud {
+    let mut config = SimConfig::paper(seed);
+    config.demand = profile;
+    let mut cloud = Cloud::new(Catalog::testbed(), config);
+    cloud.warmup(10);
+    cloud
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tick");
+
+    group.bench_function("paper_calibration", |b| {
+        let mut cloud = cloud_with(DemandProfile::paper_calibration(), 1);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        })
+    });
+    group.bench_function("quiet_profile", |b| {
+        let mut cloud = cloud_with(DemandProfile::quiet(), 2);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        })
+    });
+    group.bench_function("surge_heavy_4x", |b| {
+        let mut p = DemandProfile::paper_calibration();
+        p.pool_surge_rate_per_day *= 4.0;
+        p.region_surge_rate_per_day *= 4.0;
+        p.spot_surge_rate_per_day *= 4.0;
+        let mut cloud = cloud_with(p, 3);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        })
+    });
+    group.bench_function("no_parking", |b| {
+        let mut p = DemandProfile::paper_calibration();
+        p.park_enter_rate_per_day = 0.0;
+        let mut cloud = cloud_with(p, 4);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! SpotLight policy hot paths: a full deployment day and the intrinsic
+//! bid search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cloud_sim::catalog::Catalog;
+use cloud_sim::config::SimConfig;
+use cloud_sim::engine::Engine;
+use cloud_sim::time::SimDuration;
+use spotlight_bench::testbed_cloud;
+use spotlight_core::bidspread::find_intrinsic_bid;
+use spotlight_core::policy::{PolicyConfig, SpotLightConfig};
+use spotlight_core::spotlight::SpotLight;
+use spotlight_core::store::shared_store;
+use std::hint::black_box;
+
+fn bench_deployment_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment");
+    group.sample_size(10);
+    group.bench_function("spotlight_one_day_testbed", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = Engine::new(Catalog::testbed(), SimConfig::paper(7));
+                engine.cloud_mut().warmup(20);
+                let store = shared_store();
+                engine.add_agent(Box::new(SpotLight::new(
+                    SpotLightConfig {
+                        policy: PolicyConfig {
+                            spike_threshold: 0.5,
+                            ..PolicyConfig::default()
+                        },
+                        ..SpotLightConfig::default()
+                    },
+                    store.clone(),
+                )));
+                (engine, store)
+            },
+            |(mut engine, store)| {
+                let end = engine.cloud().now() + SimDuration::days(1);
+                engine.run_until(end);
+                black_box(store.lock().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_bidspread(c: &mut Criterion) {
+    c.bench_function("bidspread_search", |b| {
+        b.iter_batched_ref(
+            || testbed_cloud(11),
+            |cloud| {
+                let market = cloud.catalog().markets()[0];
+                black_box(find_intrinsic_bid(cloud, market, 6))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_deployment_day, bench_bidspread);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Substrate hot paths: demand ticks, auction clearing, and the probe
+//! API round trip.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cloud_sim::catalog::Catalog;
+use cloud_sim::cloud::Cloud;
+use cloud_sim::config::SimConfig;
+use cloud_sim::market::clear;
+use spotlight_bench::testbed_cloud;
+use std::hint::black_box;
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick");
+    group.bench_function("testbed_tick", |b| {
+        let mut cloud = testbed_cloud(1);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("standard_catalog_tick_5184_markets", |b| {
+        let mut cloud = Cloud::new(Catalog::standard(), SimConfig::paper(1));
+        cloud.warmup(5);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        });
+    });
+    group.finish();
+}
+
+fn bench_clearing(c: &mut Criterion) {
+    let multiples: Vec<f64> = vec![
+        0.08, 0.12, 0.18, 0.25, 0.35, 0.5, 0.7, 0.85, 1.0, 1.3, 1.8, 2.5, 4.0, 6.0, 10.0,
+    ];
+    let masses: Vec<f64> = (0..15).map(|i| 10.0 / (i + 1) as f64).collect();
+    c.bench_function("auction_clear_15_levels", |b| {
+        b.iter(|| black_box(clear(&multiples, &masses, black_box(12.5))))
+    });
+}
+
+fn bench_probe_roundtrip(c: &mut Criterion) {
+    c.bench_function("od_probe_roundtrip", |b| {
+        b.iter_batched_ref(
+            || testbed_cloud(2),
+            |cloud| {
+                let market = cloud.catalog().markets()[0];
+                if let Ok(id) = cloud.run_od_instance(market) {
+                    let _ = cloud.terminate_od_instance(id);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("spot_probe_roundtrip", |b| {
+        b.iter_batched_ref(
+            || testbed_cloud(3),
+            |cloud| {
+                let market = cloud.catalog().markets()[0];
+                let bid = cloud.oracle_published_price(market).unwrap();
+                if let Ok(sub) = cloud.request_spot_instance(market, bid) {
+                    let _ = cloud.terminate_spot_instance(sub.id);
+                    let _ = cloud.cancel_spot_request(sub.id);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_tick, bench_clearing, bench_probe_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared helpers for the SpotLight benchmark suite.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `substrate` — cloud-sim hot paths (tick, clearing, API calls);
+//! * `policy` — SpotLight's probing paths;
+//! * `analysis` — the Chapter 5 analysis kernels on synthetic stores;
+//! * `figures` — one group per paper table/figure, running the
+//!   scaled-down experiment end to end;
+//! * `ablation` — demand-model parameter sweeps (tick cost vs surge
+//!   rates, catalog scale).
+
+use cloud_sim::catalog::Catalog;
+use cloud_sim::cloud::Cloud;
+use cloud_sim::config::SimConfig;
+use cloud_sim::engine::Engine;
+use cloud_sim::time::{SimDuration, SimTime};
+use spotlight_core::policy::{PolicyConfig, SpotLightConfig};
+use spotlight_core::spotlight::SpotLight;
+use spotlight_core::store::{shared_store, SharedStore};
+
+/// A warmed-up testbed cloud.
+pub fn testbed_cloud(seed: u64) -> Cloud {
+    let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(seed));
+    cloud.warmup(20);
+    cloud
+}
+
+/// Runs a small SpotLight study on the testbed and returns its store
+/// (the input for analysis and figure benches).
+pub fn small_study(seed: u64, days: u64) -> (Cloud, SharedStore, SimTime, SimTime) {
+    let mut engine = Engine::new(Catalog::testbed(), SimConfig::paper(seed));
+    engine.cloud_mut().warmup(20);
+    let start = engine.cloud().now();
+    let end = start + SimDuration::days(days);
+    let store = shared_store();
+    engine.add_agent(Box::new(SpotLight::new(
+        SpotLightConfig {
+            policy: PolicyConfig {
+                spike_threshold: 0.5,
+                subthreshold_sampling: 0.05,
+                ..PolicyConfig::default()
+            },
+            ..SpotLightConfig::default()
+        },
+        store.clone(),
+    )));
+    engine.run_until(end);
+    let (cloud, _) = engine.into_parts();
+    (cloud, store, start, end)
+}

@@ -1,0 +1,1055 @@
+//! The simulated cloud: pools, markets, instances, and the tick loop
+//! that advances demand, clears every spot market, and drives
+//! revocations.
+//!
+//! [`Cloud`] owns all dynamic state. Requests arrive through the API
+//! methods in [`crate::api`]; the engine (or any driver) calls
+//! [`Cloud::tick`] to advance time one demand step and then drains
+//! [`Cloud::take_events`] for what happened.
+
+use crate::billing::{Ledger, UsageKind};
+use crate::catalog::Catalog;
+use crate::config::SimConfig;
+use crate::demand::{surge_weights, MarketDemand, PoolDemand, RegionDemand, Surge};
+use crate::ids::{Family, InstanceId, MarketId, PoolId, Region, SpotRequestId};
+use crate::lifecycle::{OdState, SpotRequestState, Tracked};
+use crate::market::{clear, MarketState};
+use crate::pool::CapacityPool;
+use crate::price::Price;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceStore;
+use std::collections::{BTreeSet, HashMap};
+
+/// Something observable that happened inside the cloud.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CloudEvent {
+    /// A market's published spot price changed.
+    PriceChange {
+        /// The market whose price changed.
+        market: MarketId,
+        /// The previous published price.
+        previous: Price,
+        /// The new published price.
+        price: Price,
+        /// When the new price became visible.
+        at: SimTime,
+    },
+    /// A spot instance received its two-minute revocation warning.
+    SpotRevocationWarning {
+        /// The owning request.
+        request: SpotRequestId,
+        /// The market the instance runs in.
+        market: MarketId,
+        /// When the warning was issued.
+        at: SimTime,
+        /// When the instance will be reclaimed.
+        terminate_at: SimTime,
+    },
+    /// A spot instance was reclaimed because the price exceeded its bid.
+    SpotTerminatedByPrice {
+        /// The owning request.
+        request: SpotRequestId,
+        /// The market the instance ran in.
+        market: MarketId,
+        /// When the instance was reclaimed.
+        at: SimTime,
+    },
+    /// A held spot request changed status during re-evaluation.
+    SpotRequestUpdate {
+        /// The request.
+        request: SpotRequestId,
+        /// The market it targets.
+        market: MarketId,
+        /// Its new status.
+        status: SpotRequestState,
+        /// When the status changed.
+        at: SimTime,
+    },
+    /// Ground truth: a pool ran out of on-demand capacity.
+    PoolShortageStarted {
+        /// The pool.
+        pool: PoolId,
+        /// When the shortage began.
+        at: SimTime,
+    },
+    /// Ground truth: a pool's on-demand shortage ended.
+    PoolShortageEnded {
+        /// The pool.
+        pool: PoolId,
+        /// When the shortage ended.
+        at: SimTime,
+    },
+}
+
+/// One capacity pool with its demand process and clearing bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolEntry {
+    pub id: PoolId,
+    pub pool: CapacityPool,
+    pub demand: PoolDemand,
+    pub market_indices: Vec<usize>,
+    /// Mean spot/od price ratio of member markets after the last tick.
+    pub last_ratio: f64,
+    /// End of the current reclaim (spot → od shift) window.
+    pub reclaim_until: SimTime,
+    /// Demand spilled toward this pool for the next tick, in units.
+    pub spill_next: f64,
+    /// Whether a ground-truth shortage interval is open.
+    pub shortage_open: bool,
+    /// End of the current parked (capacity-withholding) state.
+    pub parked_until: SimTime,
+}
+
+/// One spot market with its demand process.
+#[derive(Debug, Clone)]
+pub(crate) struct MarketEntry {
+    pub id: MarketId,
+    pub state: MarketState,
+    pub demand: MarketDemand,
+    pub pool_idx: usize,
+    pub volatility: f64,
+}
+
+/// An externally launched on-demand instance.
+#[derive(Debug, Clone)]
+pub struct OdInstance {
+    /// Instance id.
+    pub id: InstanceId,
+    /// The market it runs in.
+    pub market: MarketId,
+    /// Capacity units it occupies.
+    pub units: u32,
+    /// Launch time.
+    pub launched_at: SimTime,
+    /// Lifecycle state (Figure 3.1).
+    pub state: Tracked<OdState>,
+}
+
+/// An externally submitted spot instance request.
+#[derive(Debug, Clone)]
+pub struct SpotRequest {
+    /// Request id.
+    pub id: SpotRequestId,
+    /// The market it targets.
+    pub market: MarketId,
+    /// The maximum price the requester will pay.
+    pub bid: Price,
+    /// Capacity units per instance.
+    pub units: u32,
+    /// Lifecycle state (Figure 3.2).
+    pub state: Tracked<SpotRequestState>,
+    /// The launched instance, if fulfilled.
+    pub instance: Option<InstanceId>,
+    /// When the instance launched.
+    pub launched_at: Option<SimTime>,
+    /// The spot price at launch (the billing rate).
+    pub launch_price: Option<Price>,
+    /// When a marked instance will be reclaimed.
+    pub terminate_at: Option<SimTime>,
+}
+
+/// Per-region API bookkeeping: token-bucket rate limiting and service
+/// limits (Chapter 4).
+#[derive(Debug, Clone)]
+pub(crate) struct RegionApiState {
+    pub tokens: f64,
+    pub last_refill: SimTime,
+    pub od_running: u32,
+    pub spot_open: u32,
+}
+
+impl RegionApiState {
+    fn new() -> Self {
+        RegionApiState {
+            tokens: 0.0,
+            last_refill: SimTime::ZERO,
+            od_running: 0,
+            spot_open: 0,
+        }
+    }
+
+    /// Refills the bucket up to one minute's burst and consumes a token.
+    pub fn try_consume(&mut self, now: SimTime, per_minute: u32) -> bool {
+        let burst = per_minute as f64;
+        let elapsed = now.saturating_since(self.last_refill).as_secs() as f64;
+        self.tokens = (self.tokens + elapsed * per_minute as f64 / 60.0).min(burst);
+        self.last_refill = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The simulated IaaS cloud.
+pub struct Cloud {
+    pub(crate) catalog: Catalog,
+    pub(crate) config: SimConfig,
+    pub(crate) now: SimTime,
+    pub(crate) pools: Vec<PoolEntry>,
+    pub(crate) markets: Vec<MarketEntry>,
+    pub(crate) pool_index: HashMap<PoolId, usize>,
+    pub(crate) market_index: HashMap<MarketId, usize>,
+    /// Pools of the same family in the same region, per pool.
+    pub(crate) sibling_pools: Vec<Vec<usize>>,
+    pub(crate) region_demand: Vec<RegionDemand>,
+    pub(crate) od_instances: HashMap<InstanceId, OdInstance>,
+    pub(crate) spot_requests: HashMap<SpotRequestId, SpotRequest>,
+    /// Non-terminal spot requests, re-evaluated every tick.
+    pub(crate) active_spot: BTreeSet<SpotRequestId>,
+    pub(crate) region_api: Vec<RegionApiState>,
+    pub(crate) ledger: Ledger,
+    pub(crate) trace: TraceStore,
+    pub(crate) rng: SimRng,
+    pub(crate) next_id: u64,
+    pub(crate) events: Vec<CloudEvent>,
+    surge_dist: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl std::fmt::Debug for Cloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cloud")
+            .field("now", &self.now)
+            .field("pools", &self.pools.len())
+            .field("markets", &self.markets.len())
+            .field("od_instances", &self.od_instances.len())
+            .field("spot_requests", &self.spot_requests.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cloud {
+    /// Creates a cloud over `catalog` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(catalog: Catalog, config: SimConfig) -> Self {
+        config.validate().expect("invalid simulation config");
+        let profile = &config.demand;
+        let mut rng = SimRng::seed_from(config.seed);
+
+        let mut pool_index = HashMap::new();
+        let mut market_index = HashMap::new();
+        let mut pools: Vec<PoolEntry> = Vec::with_capacity(catalog.pools().len());
+        let mut markets: Vec<MarketEntry> = Vec::with_capacity(catalog.markets().len());
+
+        for (i, &pid) in catalog.pools().iter().enumerate() {
+            pool_index.insert(pid, i);
+            let member_units = catalog.pool_member_units(pid) as f64;
+            let physical = (profile.pool_scale
+                * member_units
+                * profile.family_pool_scale(pid.family))
+            .round()
+            .max(8.0) as u64;
+            let granted = (profile.reserved_fraction * physical as f64).round() as u64;
+            let pressure = profile.pool_pressure(pid);
+            let demand = PoolDemand::new(
+                physical - granted,
+                granted,
+                profile.family_volatility(pid.family),
+                pressure,
+                profile.region_phase(pid.az.region()),
+                profile,
+            );
+            pools.push(PoolEntry {
+                id: pid,
+                pool: CapacityPool::new(physical, granted),
+                demand,
+                market_indices: Vec::new(),
+                last_ratio: profile.level_multiples[0],
+                reclaim_until: SimTime::ZERO,
+                spill_next: 0.0,
+                shortage_open: false,
+                parked_until: SimTime::ZERO,
+            });
+        }
+
+        // Market weights: normalized within each pool.
+        let mut raw_weight: Vec<f64> = Vec::with_capacity(catalog.markets().len());
+        let mut pool_weight_sum: Vec<f64> = vec![0.0; pools.len()];
+        for &mid in catalog.markets() {
+            let w = profile.platform_weight(mid.platform)
+                * profile.size_weight(mid.instance_type.size());
+            let pi = pool_index[&mid.pool()];
+            raw_weight.push(w);
+            pool_weight_sum[pi] += w;
+        }
+
+        for (k, &mid) in catalog.markets().iter().enumerate() {
+            let pi = pool_index[&mid.pool()];
+            let weight = raw_weight[k] / pool_weight_sum[pi];
+            let pool = &pools[pi];
+            let physical = pool.pool.physical() as f64;
+            let granted = pool.pool.reserved_granted() as f64;
+            let od_cap = physical - granted;
+            let pressure = profile.pool_pressure(mid.pool());
+            let expected_supply = (physical
+                - profile.reserved_util_mean * granted
+                - (profile.od_base_util * pressure).min(1.0) * od_cap)
+                .max(0.05 * physical);
+            let units = mid.instance_type.units();
+            let base_mass = (expected_supply * weight / units as f64)
+                * profile.spot_demand_intensity;
+            let state = MarketState::new(
+                catalog.od_price(mid),
+                weight,
+                base_mass,
+                units,
+                profile.level_multiples[0],
+            );
+            market_index.insert(mid, markets.len());
+            pools[pi].market_indices.push(markets.len());
+            markets.push(MarketEntry {
+                id: mid,
+                state,
+                demand: MarketDemand::new(),
+                pool_idx: pi,
+                volatility: profile.family_volatility(mid.instance_type.family()),
+            });
+        }
+
+        // Sibling pools: same family, same region, different zone.
+        let mut by_region_family: HashMap<(Region, Family), Vec<usize>> = HashMap::new();
+        for (i, p) in pools.iter().enumerate() {
+            by_region_family
+                .entry((p.id.az.region(), p.id.family))
+                .or_default()
+                .push(i);
+        }
+        let sibling_pools: Vec<Vec<usize>> = pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                by_region_family[&(p.id.az.region(), p.id.family)]
+                    .iter()
+                    .copied()
+                    .filter(|&j| j != i)
+                    .collect()
+            })
+            .collect();
+
+        let surge_dist = surge_weights(
+            &profile.level_multiples,
+            0.85,
+            profile.surge_bid_decay,
+            profile.surge_bid_cap_share,
+        );
+        let n_levels = profile.level_multiples.len();
+        let trace = TraceStore::new(config.record_all_prices);
+        let region_demand = vec![RegionDemand::new(); 9];
+        let region_api = (0..9).map(|_| RegionApiState::new()).collect();
+        let demand_rng = rng.fork(1);
+
+        Cloud {
+            catalog,
+            config,
+            now: SimTime::ZERO,
+            pools,
+            markets,
+            pool_index,
+            market_index,
+            sibling_pools,
+            region_demand,
+            od_instances: HashMap::new(),
+            spot_requests: HashMap::new(),
+            active_spot: BTreeSet::new(),
+            region_api,
+            ledger: Ledger::new(),
+            trace,
+            rng: demand_rng,
+            next_id: 1,
+            events: Vec::new(),
+            surge_dist,
+            scratch: vec![0.0; n_levels],
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The catalog this cloud serves.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The account ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The trace store (price histories, ground-truth shortages).
+    pub fn trace(&self) -> &TraceStore {
+        &self.trace
+    }
+
+    /// Starts recording the full price history of a market.
+    pub fn watch_market(&mut self, market: MarketId) {
+        self.trace.watch(market);
+    }
+
+    /// Drains the events accumulated since the last call.
+    pub fn take_events(&mut self) -> Vec<CloudEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Runs `ticks` demand steps to move the system off its artificial
+    /// initial state before an experiment begins.
+    pub fn warmup(&mut self, ticks: u32) {
+        for _ in 0..ticks {
+            self.tick();
+        }
+        self.events.clear();
+    }
+
+    pub(crate) fn fresh_instance_id(&mut self) -> InstanceId {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    pub(crate) fn fresh_request_id(&mut self) -> SpotRequestId {
+        let id = SpotRequestId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    // ---------------------------------------------------------------
+    // Oracle accessors (simulation-side ground truth; not part of the
+    // rate-limited API).
+    // ---------------------------------------------------------------
+
+    /// The true (instantaneous) clearing price of a market.
+    pub fn oracle_true_price(&self, market: MarketId) -> Option<Price> {
+        self.market_index
+            .get(&market)
+            .map(|&i| self.markets[i].state.true_price())
+    }
+
+    /// The currently published price of a market (no API token consumed).
+    pub fn oracle_published_price(&self, market: MarketId) -> Option<Price> {
+        self.market_index
+            .get(&market)
+            .map(|&i| self.markets[i].state.published_price())
+    }
+
+    /// Whether an on-demand request for this market would be admitted
+    /// right now (ground truth, no probe).
+    pub fn oracle_od_available(&self, market: MarketId) -> Option<bool> {
+        let &pi = self.pool_index.get(&market.pool())?;
+        let units = u64::from(market.instance_type.units());
+        Some(self.pools[pi].pool.check_od_admission(units).is_ok())
+    }
+
+    /// Ground-truth snapshot of a pool.
+    pub fn oracle_pool(&self, pool: PoolId) -> Option<crate::pool::PoolSnapshot> {
+        self.pool_index
+            .get(&pool)
+            .map(|&i| self.pools[i].pool.snapshot())
+    }
+
+    /// Number of markets simulated.
+    pub fn market_count(&self) -> usize {
+        self.markets.len()
+    }
+
+    /// Number of capacity pools simulated.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    // ---------------------------------------------------------------
+    // The tick loop.
+    // ---------------------------------------------------------------
+
+    /// Advances the simulation one demand tick: publishes pending price
+    /// changes, updates demand, clears every market, spawns surges, and
+    /// processes spot revocations and held-request re-evaluation.
+    pub fn tick(&mut self) {
+        let dt = self.config.tick;
+        self.now += dt;
+        let now = self.now;
+
+        self.publish_due_prices(now);
+        self.update_region_demand();
+        self.update_pools(now);
+        self.clear_markets(now);
+        self.spawn_surges(now, dt);
+        self.process_spot_requests(now);
+        self.gc_terminal_requests();
+    }
+
+    fn publish_due_prices(&mut self, now: SimTime) {
+        for m in &mut self.markets {
+            let previous = m.state.published_price();
+            if let Some(price) = m.state.publish_due(now) {
+                let at = now; // published within the elapsed tick
+                self.trace.record_price(m.id, at, price);
+                self.events.push(CloudEvent::PriceChange {
+                    market: m.id,
+                    previous,
+                    price,
+                    at,
+                });
+            }
+        }
+    }
+
+    fn update_region_demand(&mut self) {
+        for rd in &mut self.region_demand {
+            rd.tick(&self.config.demand, &mut self.rng);
+        }
+    }
+
+    fn update_pools(&mut self, now: SimTime) {
+        let profile = self.config.demand.clone();
+        let warning = self.config.revocation_warning;
+        for i in 0..self.pools.len() {
+            // Apply spill-in scheduled by siblings last tick.
+            let spill = self.pools[i].spill_next;
+            self.pools[i].spill_next = 0.0;
+            self.pools[i].demand.spill_in += spill;
+
+            let region = self.pools[i].id.az.region();
+            let busy = self.region_demand[region.index()].busy();
+            let targets = self.pools[i].demand.tick(now, &profile, busy, &mut self.rng);
+
+            // Parking: a persistent capacity-withholding state the
+            // operator enters during low-price regimes (§5.3) and leaves
+            // after a lognormal-distributed episode.
+            let ratio = self.pools[i].last_ratio;
+            let aggressiveness = profile.park_region_aggressiveness[region.index()];
+            if now >= self.pools[i].parked_until
+                && ratio < profile.park_ratio_hi
+                && aggressiveness > 0.0
+            {
+                let rate = profile.park_enter_rate_per_day
+                    * aggressiveness
+                    * (1.0 - ratio / profile.park_ratio_hi);
+                let dt_days = self.config.tick.as_secs() as f64 / 86_400.0;
+                if self.rng.chance(rate * dt_days) {
+                    let dur = self
+                        .rng
+                        .lognormal_median(
+                            profile.park_duration_median_secs,
+                            profile.park_duration_sigma,
+                        )
+                        .max(300.0) as u64;
+                    self.pools[i].parked_until = now + SimDuration::from_secs(dur);
+                }
+            }
+            let parked_frac = if now < self.pools[i].parked_until {
+                1.0
+            } else {
+                0.0
+            };
+
+            let displaced = self.pools[i].pool.apply_demand(
+                targets.reserved_units,
+                targets.od_units,
+                parked_frac,
+            );
+
+            if displaced > 0 {
+                self.pools[i].pool.set_reclaiming(true);
+                self.pools[i].reclaim_until = now + warning;
+            } else if now >= self.pools[i].reclaim_until {
+                self.pools[i].pool.set_reclaiming(false);
+            }
+
+            // Ground-truth shortage intervals + spill-over to siblings.
+            let short = self.pools[i].pool.od_shortage();
+            if short && !self.pools[i].shortage_open {
+                self.pools[i].shortage_open = true;
+                self.trace.shortage_started(self.pools[i].id, now);
+                self.events.push(CloudEvent::PoolShortageStarted {
+                    pool: self.pools[i].id,
+                    at: now,
+                });
+            } else if !short && self.pools[i].shortage_open {
+                self.pools[i].shortage_open = false;
+                self.trace.shortage_ended(self.pools[i].id, now);
+                self.events.push(CloudEvent::PoolShortageEnded {
+                    pool: self.pools[i].id,
+                    at: now,
+                });
+            }
+            if short {
+                let unmet = self.pools[i].pool.od_unmet() as f64;
+                let siblings = self.sibling_pools[i].clone();
+                if !siblings.is_empty() {
+                    let share = profile.spill_fraction * unmet / siblings.len() as f64;
+                    for j in siblings {
+                        self.pools[j].spill_next += share;
+                    }
+                }
+            }
+        }
+    }
+
+    fn clear_markets(&mut self, now: SimTime) {
+        let profile = self.config.demand.clone();
+        let (lag_lo, lag_hi) = self.config.price_lag_secs;
+        let multiples = &profile.level_multiples;
+
+        for pi in 0..self.pools.len() {
+            let supply_units = self.pools[pi].pool.spot_supply() as f64;
+            let mut served_units_total = 0.0_f64;
+            let mut ratio_sum = 0.0_f64;
+            let indices = self.pools[pi].market_indices.clone();
+            for &mi in &indices {
+                let m = &mut self.markets[mi];
+                m.demand.tick(now, &profile, &mut self.rng);
+                m.demand.level_masses(
+                    &profile,
+                    m.state.base_mass,
+                    &self.surge_dist,
+                    &mut self.scratch,
+                );
+                let supply_m = supply_units * m.state.weight / m.state.units as f64;
+                let clearing = clear(multiples, &self.scratch, supply_m);
+                let lag = if lag_hi > lag_lo {
+                    self.rng.uniform_range(lag_lo as f64, lag_hi as f64) as u64
+                } else {
+                    lag_lo
+                };
+                m.state
+                    .apply_clearing(clearing, now, now + SimDuration::from_secs(lag));
+                served_units_total += clearing.served * m.state.units as f64;
+                ratio_sum += m.state.price_ratio();
+            }
+            // The operator keeps a sliver of spot supply free of the
+            // background market so well-priced new requests can fulfil.
+            let cap_units = (supply_units * (1.0 - profile.spot_headroom_frac)).floor();
+            self.pools[pi]
+                .pool
+                .set_spot_market(served_units_total.min(cap_units).round().max(0.0) as u64);
+            if !indices.is_empty() {
+                self.pools[pi].last_ratio = ratio_sum / indices.len() as f64;
+            }
+        }
+    }
+
+    fn spawn_surges(&mut self, now: SimTime, dt: SimDuration) {
+        let profile = self.config.demand.clone();
+        let dt_days = dt.as_secs() as f64 / 86_400.0;
+
+        // Zone-local pool surges: rare, heavy-tailed, uncorrelated.
+        for i in 0..self.pools.len() {
+            let pressure = profile.pool_pressure(self.pools[i].id);
+            let vol = profile.family_volatility(self.pools[i].id.family);
+            let rate = profile.pool_surge_rate_per_day
+                * vol.sqrt()
+                * pressure.powf(profile.surge_rate_pressure_exp);
+            if self.rng.chance(rate * dt_days) {
+                let magnitude = (self
+                    .rng
+                    .pareto(profile.surge_magnitude_scale, profile.surge_magnitude_alpha)
+                    * pressure.powf(profile.surge_magnitude_pressure_exp))
+                .min(profile.surge_magnitude_cap);
+                // Specialized families suffer longer shortages (the
+                // heavy Figure 5.9 tail and the chronic d2/g2 outages of
+                // the case studies).
+                let duration = (self
+                    .rng
+                    .lognormal_median(profile.surge_duration_median_secs, profile.surge_duration_sigma)
+                    * vol)
+                    .max(60.0) as u64;
+                self.pools[i].demand.add_surge(Surge {
+                    magnitude,
+                    ends_at: now + SimDuration::from_secs(duration),
+                });
+            }
+        }
+
+        // Region-wide family surges: moderate, correlated across zones.
+        for region in Region::ALL {
+            let pressure = profile.region_pressure[region.index()];
+            let rate =
+                profile.region_surge_rate_per_day * pressure.powf(profile.surge_rate_pressure_exp);
+            if !self.rng.chance(rate * dt_days) {
+                continue;
+            }
+            // Pick a family actually offered in this region.
+            let candidates: Vec<usize> = (0..self.pools.len())
+                .filter(|&i| self.pools[i].id.az.region() == region)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let anchor = candidates[self.rng.uniform_usize(0, candidates.len())];
+            let family = self.pools[anchor].id.family;
+            let base_mag = (self
+                .rng
+                .pareto(profile.surge_magnitude_scale, profile.surge_magnitude_alpha)
+                * profile.region_surge_attenuation
+                * pressure.powf(profile.surge_magnitude_pressure_exp))
+            .min(profile.surge_magnitude_cap);
+            let duration = self
+                .rng
+                .lognormal_median(profile.surge_duration_median_secs, profile.surge_duration_sigma)
+                .max(60.0) as u64;
+            for &i in &candidates {
+                if self.pools[i].id.family != family {
+                    continue;
+                }
+                let jitter = self.rng.uniform_range(0.6, 1.4);
+                let dj = (duration as f64 * self.rng.uniform_range(0.8, 1.2)) as u64;
+                self.pools[i].demand.add_surge(Surge {
+                    magnitude: base_mag * jitter,
+                    ends_at: now + SimDuration::from_secs(dj),
+                });
+            }
+        }
+
+        // Spot-side surges per market: price spikes without a shortage.
+        for mi in 0..self.markets.len() {
+            let vol = self.markets[mi].volatility;
+            let rate = profile.spot_surge_rate_per_day * vol.sqrt();
+            if self.rng.chance(rate * dt_days) {
+                let magnitude = (self
+                    .rng
+                    .pareto(profile.spot_surge_scale, profile.spot_surge_alpha)
+                    * vol.sqrt())
+                .min(profile.spot_surge_cap);
+                let duration = self
+                    .rng
+                    .lognormal_median(profile.surge_duration_median_secs, profile.surge_duration_sigma)
+                    .max(60.0) as u64;
+                self.markets[mi].demand.add_surge(Surge {
+                    magnitude,
+                    ends_at: now + SimDuration::from_secs(duration),
+                });
+            }
+        }
+    }
+
+    /// Revocations, reclaim terminations, and held-request re-evaluation.
+    fn process_spot_requests(&mut self, now: SimTime) {
+        let warning = self.config.revocation_warning;
+        let ids: Vec<SpotRequestId> = self.active_spot.iter().copied().collect();
+        for id in ids {
+            let Some(req) = self.spot_requests.get(&id) else {
+                continue;
+            };
+            let market = req.market;
+            let mi = self.market_index[&market];
+            let state = req.state.current();
+            match state {
+                SpotRequestState::Fulfilled => {
+                    let price = self.markets[mi].state.true_price();
+                    if price > req.bid {
+                        let terminate_at = now + warning;
+                        let req = self.spot_requests.get_mut(&id).expect("present");
+                        req.state
+                            .transition(SpotRequestState::MarkedForTermination, now)
+                            .expect("fulfilled -> marked is legal");
+                        req.terminate_at = Some(terminate_at);
+                        self.events.push(CloudEvent::SpotRevocationWarning {
+                            request: id,
+                            market,
+                            at: now,
+                            terminate_at,
+                        });
+                    }
+                }
+                SpotRequestState::MarkedForTermination => {
+                    let due = self.spot_requests[&id]
+                        .terminate_at
+                        .is_some_and(|t| t <= now);
+                    if due {
+                        self.finish_revocation(id, now);
+                    }
+                }
+                s if s.is_held() => {
+                    self.reevaluate_held(id, now);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Completes a price revocation: frees capacity, bills (partial hour
+    /// free), and emits the termination event.
+    fn finish_revocation(&mut self, id: SpotRequestId, now: SimTime) {
+        let req = self.spot_requests.get_mut(&id).expect("present");
+        req.state
+            .transition(SpotRequestState::InstanceTerminatedByPrice, now)
+            .expect("marked -> terminated-by-price is legal");
+        let market = req.market;
+        let units = u64::from(req.units);
+        let launched = req.launched_at.expect("fulfilled request has launch time");
+        let rate = req.launch_price.expect("fulfilled request has launch price");
+        let pi = self.pool_index[&market.pool()];
+        self.pools[pi].pool.release_spot_external(units);
+        self.ledger.charge(
+            now,
+            market,
+            UsageKind::SpotRevoked,
+            now.saturating_since(launched),
+            rate,
+        );
+        self.region_api[market.region().index()].spot_open =
+            self.region_api[market.region().index()].spot_open.saturating_sub(1);
+        self.events.push(CloudEvent::SpotTerminatedByPrice {
+            request: id,
+            market,
+            at: now,
+        });
+    }
+
+    /// Re-evaluates a held spot request against current conditions.
+    fn reevaluate_held(&mut self, id: SpotRequestId, now: SimTime) {
+        let (market, bid, units) = {
+            let r = &self.spot_requests[&id];
+            (r.market, r.bid, r.units)
+        };
+        let outcome = self.evaluate_spot(market, bid, units);
+        let new_state = match outcome {
+            SpotEval::Fulfill => SpotRequestState::Fulfilled,
+            SpotEval::PriceTooLow => SpotRequestState::PriceTooLow,
+            SpotEval::Oversubscribed => SpotRequestState::CapacityOversubscribed,
+            SpotEval::NotAvailable => SpotRequestState::CapacityNotAvailable,
+        };
+        let old_state = self.spot_requests[&id].state.current();
+        if new_state == old_state {
+            return;
+        }
+        if new_state == SpotRequestState::Fulfilled {
+            let price = self.markets[self.market_index[&market]].state.true_price();
+            self.fulfil_spot(id, now, price);
+        } else {
+            let req = self.spot_requests.get_mut(&id).expect("present");
+            req.state
+                .transition(new_state, now)
+                .expect("held states rotate freely");
+        }
+        self.events.push(CloudEvent::SpotRequestUpdate {
+            request: id,
+            market,
+            status: new_state,
+            at: now,
+        });
+    }
+
+    /// Executes fulfilment: occupies the pool (displacing background spot
+    /// capacity if needed) and launches the instance.
+    pub(crate) fn fulfil_spot(&mut self, id: SpotRequestId, now: SimTime, price: Price) {
+        let (market, units) = {
+            let r = &self.spot_requests[&id];
+            (r.market, u64::from(r.units))
+        };
+        let pi = self.pool_index[&market.pool()];
+        let pool = &mut self.pools[pi].pool;
+        if !pool.admit_spot_external(units) {
+            // Displace background spot capacity to make room.
+            let cur = pool.spot_market_units();
+            pool.set_spot_market(cur.saturating_sub(units));
+            let admitted = pool.admit_spot_external(units);
+            debug_assert!(admitted, "displacement must free enough room");
+        }
+        let instance = self.fresh_instance_id();
+        let req = self.spot_requests.get_mut(&id).expect("present");
+        req.state
+            .transition(SpotRequestState::Fulfilled, now)
+            .expect("held/pending -> fulfilled is legal");
+        req.instance = Some(instance);
+        req.launched_at = Some(now);
+        req.launch_price = Some(price);
+    }
+
+    /// Evaluates a spot request against the current market state without
+    /// mutating anything.
+    pub(crate) fn evaluate_spot(&self, market: MarketId, bid: Price, units: u32) -> SpotEval {
+        let mi = self.market_index[&market];
+        let m = &self.markets[mi];
+        let floor = m
+            .state
+            .floor_price(self.config.demand.level_multiples[0]);
+        let price = m.state.true_price();
+        if bid < price.max(floor) {
+            return SpotEval::PriceTooLow;
+        }
+        let pool = &self.pools[m.pool_idx].pool;
+        let units = u64::from(units);
+        // A parked pool withholds capacity from every new spot request
+        // regardless of bid — the literal capacity-not-available of §5.3.
+        if pool.parking_active() {
+            return SpotEval::NotAvailable;
+        }
+        let room = pool.spot_fulfilment_room() >= units;
+        if bid == price {
+            if room {
+                SpotEval::Fulfill
+            } else {
+                SpotEval::Oversubscribed
+            }
+        } else {
+            // bid > price: the request can displace the marginal winner
+            // unless the market cleared at the floor (no marginal loser).
+            let displaceable =
+                pool.spot_market_units() >= units && !m.state.last_clearing.at_floor;
+            if room || displaceable {
+                SpotEval::Fulfill
+            } else {
+                SpotEval::NotAvailable
+            }
+        }
+    }
+
+    /// Drops terminal spot requests (their final state was already
+    /// returned to the caller and emitted as events).
+    fn gc_terminal_requests(&mut self) {
+        let terminal: Vec<SpotRequestId> = self
+            .active_spot
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.spot_requests
+                    .get(id)
+                    .is_none_or(|r| r.state.current().is_terminal())
+            })
+            .collect();
+        for id in terminal {
+            self.active_spot.remove(&id);
+            self.spot_requests.remove(&id);
+        }
+    }
+}
+
+/// Outcome of evaluating a spot request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpotEval {
+    Fulfill,
+    PriceTooLow,
+    Oversubscribed,
+    NotAvailable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DemandProfile;
+
+    fn quiet_cloud() -> Cloud {
+        let mut config = SimConfig::paper(42);
+        config.demand = DemandProfile::quiet();
+        Cloud::new(Catalog::testbed(), config)
+    }
+
+    #[test]
+    fn construction_wires_indices() {
+        let c = quiet_cloud();
+        assert_eq!(c.market_count(), c.catalog().markets().len());
+        assert_eq!(c.pool_count(), c.catalog().pools().len());
+        for &m in c.catalog().markets() {
+            assert!(c.oracle_true_price(m).is_some());
+        }
+    }
+
+    #[test]
+    fn tick_advances_time() {
+        let mut c = quiet_cloud();
+        let t0 = c.now();
+        c.tick();
+        assert_eq!(c.now(), t0 + c.config().tick);
+    }
+
+    #[test]
+    fn quiet_cloud_prices_settle_at_floor() {
+        let mut c = quiet_cloud();
+        c.warmup(50);
+        for &m in c.catalog().markets() {
+            let price = c.oracle_true_price(m).unwrap();
+            let od = c.catalog().od_price(m);
+            let ratio = price.ratio_to(od);
+            assert!(
+                ratio <= 0.30,
+                "market {m} should be near the floor, ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_cloud_od_always_available() {
+        let mut c = quiet_cloud();
+        c.warmup(50);
+        for &m in c.catalog().markets() {
+            assert_eq!(c.oracle_od_available(m), Some(true), "market {m}");
+        }
+    }
+
+    #[test]
+    fn pool_invariants_hold_under_paper_demand() {
+        let mut config = SimConfig::paper(7);
+        config.demand = DemandProfile::paper_calibration();
+        let mut c = Cloud::new(Catalog::testbed(), config);
+        for _ in 0..500 {
+            c.tick();
+            for p in &c.pools {
+                assert!(p.pool.invariants_hold(), "pool {} broke invariants", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn price_changes_are_published_with_lag() {
+        let mut config = SimConfig::paper(9);
+        config.demand = DemandProfile::paper_calibration();
+        config.record_all_prices = true;
+        let mut c = Cloud::new(Catalog::testbed(), config);
+        let mut saw_change = false;
+        for _ in 0..300 {
+            c.tick();
+            for ev in c.take_events() {
+                if let CloudEvent::PriceChange { market, price, .. } = ev {
+                    saw_change = true;
+                    // The published price matches the event.
+                    assert_eq!(c.oracle_published_price(market), Some(price));
+                }
+            }
+        }
+        assert!(saw_change, "expected at least one price change in 300 ticks");
+    }
+
+    #[test]
+    fn shortage_events_are_paired() {
+        let config = SimConfig::paper(11);
+        let mut c = Cloud::new(Catalog::testbed(), config);
+        let mut open: HashMap<PoolId, u32> = HashMap::new();
+        for _ in 0..1500 {
+            c.tick();
+            for ev in c.take_events() {
+                match ev {
+                    CloudEvent::PoolShortageStarted { pool, .. } => {
+                        *open.entry(pool).or_insert(0) += 1;
+                        assert_eq!(open[&pool], 1, "double start for {pool}");
+                    }
+                    CloudEvent::PoolShortageEnded { pool, .. } => {
+                        let v = open.get_mut(&pool).expect("end without start");
+                        *v -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_clears_events() {
+        let mut c = quiet_cloud();
+        c.warmup(10);
+        assert!(c.take_events().is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! The discrete-event engine: drives the cloud's tick loop and hosts
+//! *agents* (SpotLight, case-study workloads) that react to cloud events
+//! and schedule their own wake-ups.
+//!
+//! The engine is single-threaded and deterministic: given the same seed
+//! and the same agents, a run replays exactly. Agents interact with the
+//! world through [`Ctx`], which exposes the cloud plus a scheduler.
+//!
+//! # Examples
+//!
+//! ```
+//! use cloud_sim::catalog::Catalog;
+//! use cloud_sim::config::SimConfig;
+//! use cloud_sim::engine::{Agent, Ctx, Engine};
+//! use cloud_sim::cloud::CloudEvent;
+//! use cloud_sim::time::{SimDuration, SimTime};
+//!
+//! struct Counter(u64);
+//! impl Agent for Counter {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.wake_in(SimDuration::hours(1), 0);
+//!     }
+//!     fn on_wake(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+//!         self.0 += 1;
+//!         ctx.wake_in(SimDuration::hours(1), 0);
+//!     }
+//!     fn on_cloud_event(&mut self, _ctx: &mut Ctx<'_>, _event: &CloudEvent) {}
+//! }
+//!
+//! let mut engine = Engine::new(Catalog::testbed(), SimConfig::paper(1));
+//! engine.add_agent(Box::new(Counter(0)));
+//! engine.run_until(SimTime::from_secs(6 * 3600));
+//! ```
+
+use crate::catalog::Catalog;
+use crate::cloud::{Cloud, CloudEvent};
+use crate::config::SimConfig;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle agents use to act on the world: the cloud plus scheduling.
+pub struct Ctx<'a> {
+    /// The cloud, for API calls and oracle reads.
+    pub cloud: &'a mut Cloud,
+    agent_idx: usize,
+    now: SimTime,
+    wakes: &'a mut Vec<(SimTime, usize, u64)>,
+}
+
+impl Ctx<'_> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a wake-up for this agent at absolute time `at` with an
+    /// opaque `token` the agent uses to recognize the purpose.
+    pub fn wake_at(&mut self, at: SimTime, token: u64) {
+        let at = at.max(self.now);
+        self.wakes.push((at, self.agent_idx, token));
+    }
+
+    /// Schedules a wake-up `delay` from now.
+    pub fn wake_in(&mut self, delay: SimDuration, token: u64) {
+        self.wakes.push((self.now + delay, self.agent_idx, token));
+    }
+}
+
+/// A deterministic actor hosted by the engine.
+///
+/// All methods receive a [`Ctx`] giving mutable access to the cloud and
+/// the ability to schedule wake-ups.
+pub trait Agent {
+    /// Called once before the first tick.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called at a previously scheduled wake-up time.
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// Called for every cloud event, after each tick.
+    fn on_cloud_event(&mut self, ctx: &mut Ctx<'_>, event: &CloudEvent);
+
+    /// Called once when the run ends.
+    fn on_finish(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum QueueItem {
+    /// Advance the cloud one tick (ordering: ticks before wakes at the
+    /// same instant so agents see fresh state).
+    Tick,
+    /// Wake agent `{1}` with token `{2}`.
+    Wake(usize, u64),
+}
+
+/// The simulation engine.
+pub struct Engine {
+    cloud: Cloud,
+    agents: Vec<Box<dyn Agent>>,
+    /// Min-heap on `(time, item, seq)`: at equal times ticks sort before
+    /// wakes, so agents always observe fresh state.
+    queue: BinaryHeap<Reverse<(SimTime, QueueItem, u64)>>,
+    seq: u64,
+    started: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.cloud.now())
+            .field("agents", &self.agents.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a fresh cloud.
+    pub fn new(catalog: Catalog, config: SimConfig) -> Self {
+        Engine::with_cloud(Cloud::new(catalog, config))
+    }
+
+    /// Creates an engine over an existing (possibly warmed-up) cloud.
+    pub fn with_cloud(cloud: Cloud) -> Self {
+        Engine {
+            cloud,
+            agents: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            started: false,
+        }
+    }
+
+    /// Adds an agent; returns its index.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> usize {
+        self.agents.push(agent);
+        self.agents.len() - 1
+    }
+
+    /// Immutable access to the cloud.
+    pub fn cloud(&self) -> &Cloud {
+        &self.cloud
+    }
+
+    /// Mutable access to the cloud (setup: watching markets, warmup).
+    pub fn cloud_mut(&mut self) -> &mut Cloud {
+        &mut self.cloud
+    }
+
+    /// Consumes the engine and returns the cloud and agents.
+    pub fn into_parts(self) -> (Cloud, Vec<Box<dyn Agent>>) {
+        (self.cloud, self.agents)
+    }
+
+    fn push(&mut self, at: SimTime, item: QueueItem) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, item, self.seq)));
+    }
+
+    fn drain_wakes(&mut self, pending: Vec<(SimTime, usize, u64)>) {
+        for (at, agent, token) in pending {
+            self.push(at, QueueItem::Wake(agent, token));
+        }
+    }
+
+    /// Runs the simulation until `end` (inclusive of the tick landing on
+    /// it). May be called repeatedly to extend a run.
+    pub fn run_until(&mut self, end: SimTime) {
+        let tick = self.cloud.config().tick;
+        let mut wakes: Vec<(SimTime, usize, u64)> = Vec::new();
+
+        if !self.started {
+            self.started = true;
+            for i in 0..self.agents.len() {
+                let now = self.cloud.now();
+                let mut ctx = Ctx {
+                    cloud: &mut self.cloud,
+                    agent_idx: i,
+                    now,
+                    wakes: &mut wakes,
+                };
+                self.agents[i].on_start(&mut ctx);
+            }
+            let pending = std::mem::take(&mut wakes);
+            self.drain_wakes(pending);
+            self.push(self.cloud.now() + tick, QueueItem::Tick);
+        }
+
+        while let Some(next_at) = self.queue.peek().map(|Reverse((at, _, _))| *at) {
+            if next_at > end {
+                break;
+            }
+            let Reverse((at, item, _)) = self.queue.pop().expect("peeked above");
+            match item {
+                QueueItem::Tick => {
+                    self.cloud.tick();
+                    debug_assert_eq!(self.cloud.now(), at);
+                    let events = self.cloud.take_events();
+                    for event in &events {
+                        for i in 0..self.agents.len() {
+                            let mut ctx = Ctx {
+                                cloud: &mut self.cloud,
+                                agent_idx: i,
+                                now: at,
+                                wakes: &mut wakes,
+                            };
+                            self.agents[i].on_cloud_event(&mut ctx, event);
+                        }
+                    }
+                    let pending = std::mem::take(&mut wakes);
+                    self.drain_wakes(pending);
+                    self.push(at + tick, QueueItem::Tick);
+                }
+                QueueItem::Wake(agent, token) => {
+                    let mut ctx = Ctx {
+                        cloud: &mut self.cloud,
+                        agent_idx: agent,
+                        now: at,
+                        wakes: &mut wakes,
+                    };
+                    self.agents[agent].on_wake(&mut ctx, token);
+                    let pending = std::mem::take(&mut wakes);
+                    self.drain_wakes(pending);
+                }
+            }
+        }
+
+        for i in 0..self.agents.len() {
+            let now = self.cloud.now();
+            let mut ctx = Ctx {
+                cloud: &mut self.cloud,
+                agent_idx: i,
+                now,
+                wakes: &mut wakes,
+            };
+            self.agents[i].on_finish(&mut ctx);
+        }
+        wakes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DemandProfile;
+
+    struct Recorder {
+        wakes: Vec<(SimTime, u64)>,
+        events: usize,
+        started: bool,
+        finished: bool,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                wakes: Vec::new(),
+                events: 0,
+                started: false,
+                finished: false,
+            }
+        }
+    }
+
+    impl Agent for Recorder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.started = true;
+            ctx.wake_in(SimDuration::from_secs(450), 7);
+            ctx.wake_at(SimTime::from_secs(1000), 8);
+        }
+        fn on_wake(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.wakes.push((ctx.now(), token));
+        }
+        fn on_cloud_event(&mut self, _ctx: &mut Ctx<'_>, _event: &CloudEvent) {
+            self.events += 1;
+        }
+        fn on_finish(&mut self, _ctx: &mut Ctx<'_>) {
+            self.finished = true;
+        }
+    }
+
+    fn quiet_config(seed: u64) -> SimConfig {
+        let mut config = SimConfig::paper(seed);
+        config.demand = DemandProfile::quiet();
+        config
+    }
+
+    #[test]
+    fn wakes_fire_in_order_at_requested_times() {
+        let mut engine = Engine::new(Catalog::testbed(), quiet_config(1));
+        engine.add_agent(Box::new(Recorder::new()));
+        engine.run_until(SimTime::from_secs(2000));
+        let (_, agents) = engine.into_parts();
+        let rec = agents.into_iter().next().unwrap();
+        // Can't downcast Box<dyn Agent> without Any; test via a second
+        // engine with direct inspection instead.
+        drop(rec);
+    }
+
+    // A variant storing observations in a shared cell so we can inspect.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct SharedRecorder(Rc<RefCell<Recorder>>);
+
+    impl Agent for SharedRecorder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.0.borrow_mut().on_start(ctx);
+        }
+        fn on_wake(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.0.borrow_mut().on_wake(ctx, token);
+        }
+        fn on_cloud_event(&mut self, ctx: &mut Ctx<'_>, event: &CloudEvent) {
+            self.0.borrow_mut().on_cloud_event(ctx, event);
+        }
+        fn on_finish(&mut self, ctx: &mut Ctx<'_>) {
+            self.0.borrow_mut().on_finish(ctx);
+        }
+    }
+
+    #[test]
+    fn lifecycle_hooks_and_wake_times() {
+        let shared = Rc::new(RefCell::new(Recorder::new()));
+        let mut engine = Engine::new(Catalog::testbed(), quiet_config(2));
+        engine.add_agent(Box::new(SharedRecorder(Rc::clone(&shared))));
+        engine.run_until(SimTime::from_secs(2000));
+        let rec = shared.borrow();
+        assert!(rec.started);
+        assert!(rec.finished);
+        assert_eq!(
+            rec.wakes,
+            vec![
+                (SimTime::from_secs(450), 7),
+                (SimTime::from_secs(1000), 8)
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_can_be_extended() {
+        let shared = Rc::new(RefCell::new(Recorder::new()));
+        let mut engine = Engine::new(Catalog::testbed(), quiet_config(3));
+        engine.add_agent(Box::new(SharedRecorder(Rc::clone(&shared))));
+        engine.run_until(SimTime::from_secs(500));
+        assert_eq!(shared.borrow().wakes.len(), 1);
+        engine.run_until(SimTime::from_secs(1500));
+        assert_eq!(shared.borrow().wakes.len(), 2);
+    }
+
+    #[test]
+    fn ticks_advance_cloud_during_run() {
+        let mut engine = Engine::new(Catalog::testbed(), quiet_config(4));
+        engine.run_until(SimTime::from_secs(3000));
+        assert_eq!(engine.cloud().now(), SimTime::from_secs(3000));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed: u64| {
+            let mut config = SimConfig::paper(seed);
+            config.record_all_prices = true;
+            let mut engine = Engine::new(Catalog::testbed(), config);
+            engine.run_until(SimTime::from_secs(50 * 300));
+            let cloud = engine.into_parts().0;
+            let m = cloud.catalog().markets()[0];
+            cloud.trace().history(m).to_vec()
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

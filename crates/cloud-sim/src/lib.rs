@@ -1,0 +1,80 @@
+//! # cloud-sim
+//!
+//! A discrete-event simulator of an EC2-like IaaS cloud, built as the
+//! substrate for the SpotLight reproduction (Ouyang, *SpotLight: An
+//! Information Service for the Cloud*, UMass Amherst, 2016).
+//!
+//! The simulator models exactly the mechanisms the paper's measurements
+//! depend on:
+//!
+//! * **Shared capacity pools** ([`pool`]) — reserved, on-demand, and
+//!   spot servers carved from one physical pool per family × zone
+//!   (the paper's Figure 2.2), with the §2.2 bounds enforced.
+//! * **Spot auctions** ([`market`]) — uniform-price clearing where the
+//!   lowest winning bid sets the price, a reserve floor, the 10×
+//!   on-demand bid cap, and the 20–40 s price propagation delay.
+//! * **Instance lifecycles** ([`lifecycle`]) — the state machines of
+//!   Figures 3.1 and 3.2, with timestamped transition logs.
+//! * **Generative demand** ([`demand`]) — seasonal + mean-reverting
+//!   background demand with heavy-tailed surge events, correlated within
+//!   families and across zones, calibrated per region.
+//! * **An EC2-style API** ([`api`]) — `run_od_instance`,
+//!   `request_spot_instance`, …, with per-region rate limits and service
+//!   limits, returning EC2-style error codes such as
+//!   `InsufficientInstanceCapacity`.
+//! * **Billing** ([`billing`]) — one-hour minimum charges, free partial
+//!   hours on platform revocation.
+//! * **A deterministic engine** ([`engine`]) — seeded, replayable runs
+//!   hosting agents (SpotLight itself, case-study workloads).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cloud_sim::catalog::Catalog;
+//! use cloud_sim::config::SimConfig;
+//! use cloud_sim::cloud::Cloud;
+//!
+//! // A small testbed cloud, deterministic under seed 7.
+//! let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(7));
+//! cloud.warmup(20);
+//!
+//! // Probe a market the way SpotLight does.
+//! let market = cloud.catalog().markets()[0];
+//! match cloud.run_od_instance(market) {
+//!     Ok(id) => {
+//!         let charged = cloud.terminate_od_instance(id)?;
+//!         println!("on-demand obtainable; probe cost {charged}");
+//!     }
+//!     Err(err) => println!("rejected: {}", err.error_code()),
+//! }
+//! # Ok::<(), cloud_sim::api::ApiError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod billing;
+pub mod catalog;
+pub mod cloud;
+pub mod config;
+pub mod demand;
+pub mod engine;
+pub mod ids;
+pub mod lifecycle;
+pub mod market;
+pub mod pool;
+pub mod price;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use api::ApiError;
+pub use catalog::Catalog;
+pub use cloud::{Cloud, CloudEvent};
+pub use config::SimConfig;
+pub use engine::{Agent, Ctx, Engine};
+pub use ids::{Az, Family, InstanceType, MarketId, Platform, PoolId, Region, Size};
+pub use price::Price;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,168 @@
+//! Seeded random sampling used by the demand processes.
+//!
+//! Everything in the simulator draws from one [`SimRng`] so that a run is
+//! fully determined by its seed. The helpers implement the handful of
+//! distributions the demand model needs (normal, lognormal, Pareto,
+//! Bernoulli) without pulling in a distributions crate.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The simulator's seeded random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use cloud_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream; used to give subsystems their
+    /// own streams so adding draws in one place does not perturb others.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let mut child = ChaCha8Rng::seed_from_u64(self.inner.gen::<u64>() ^ stream);
+        child.set_stream(stream);
+        SimRng { inner: child }
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to [0,1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.uniform() < p
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard_normal()
+    }
+
+    /// A lognormal sample parameterized by its *median* and the standard
+    /// deviation of the underlying normal (`sigma`).
+    pub fn lognormal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        (median.ln() + sigma * self.standard_normal()).exp()
+    }
+
+    /// A Pareto sample with scale `xm > 0` and shape `alpha > 0`:
+    /// heavy-tailed surge magnitudes.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0);
+        let u = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_by_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_draw_count() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(8);
+        let fa = a.fork(1);
+        let fb = b.fork(1);
+        // Different parents give different children.
+        assert_ne!(fa.clone().next_u64(), fb.clone().next_u64());
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::seed_from(13);
+        for _ in 0..1000 {
+            assert!(rng.pareto(0.2, 1.5) >= 0.2);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_median() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 20_000;
+        let mut samples: Vec<f64> =
+            (0..n).map(|_| rng.lognormal_median(900.0, 2.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median / 900.0 - 1.0).abs() < 0.12, "median {median}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(19);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+}

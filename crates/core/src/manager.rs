@@ -1,0 +1,360 @@
+//! The live deployment: Chapter 4's hierarchical managers, as threads.
+//!
+//! The paper's prototype ran region managers (one per region, batching
+//! state polls and enforcing service limits), per-market probe managers,
+//! and a database manager that serialized all writes. This module
+//! reproduces that shape with real concurrency:
+//!
+//! * a **driver** advances the shared cloud tick by tick and fans each
+//!   region's events out to its region manager over a channel;
+//! * **region managers** (one thread per region) run the spike-triggered
+//!   probing policy against the shared cloud, keeping their own
+//!   re-probe (recovery) schedules;
+//! * a **database manager** thread owns all writes to the
+//!   [`SharedStore`].
+//!
+//! The engine-hosted [`crate::spotlight::SpotLight`] agent is the
+//! deterministic twin of this deployment; the live mode exists to
+//! demonstrate and test the concurrent architecture (`crossbeam`
+//! channels, `parking_lot` locks) at the cost of determinism across
+//! thread interleavings. Within one region, probing is deterministic.
+
+use crate::policy::PolicyConfig;
+use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
+use crate::store::{SharedStore, SpikeEvent};
+use cloud_sim::api::ApiError;
+use cloud_sim::cloud::{Cloud, CloudEvent};
+use cloud_sim::ids::{MarketId, Region};
+use cloud_sim::price::Price;
+use cloud_sim::time::{SimDuration, SimTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+/// A cloud shared between the driver and the region managers.
+pub type SharedCloud = Arc<Mutex<Cloud>>;
+
+/// Configuration for a live run.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The probing policy all region managers apply.
+    pub policy: PolicyConfig,
+    /// How long (simulation time) to run.
+    pub duration: SimDuration,
+}
+
+/// Summary of a live run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveReport {
+    /// Probes recorded.
+    pub probes: usize,
+    /// Probes issued per region.
+    pub per_region_probes: HashMap<Region, usize>,
+    /// Ticks driven.
+    pub ticks: u64,
+}
+
+enum RegionMsg {
+    Events(Vec<CloudEvent>, SimTime),
+    Shutdown,
+}
+
+/// What a region manager sends to the database manager.
+enum DbMsg {
+    Probe(ProbeRecord),
+    Spike(SpikeEvent),
+}
+
+/// One region manager's probing state.
+struct RegionWorker {
+    region: Region,
+    policy: PolicyConfig,
+    cloud: SharedCloud,
+    db: Sender<DbMsg>,
+    cooldown_until: HashMap<MarketId, SimTime>,
+    /// Markets awaiting recovery, with their next re-probe time.
+    recovery_due: HashMap<MarketId, SimTime>,
+    probes_issued: usize,
+}
+
+impl RegionWorker {
+    fn probe_od(&mut self, market: MarketId, trigger: ProbeTrigger, now: SimTime) {
+        let mut cloud = self.cloud.lock();
+        let od_price = cloud.catalog().od_price(market);
+        let (outcome, cost) = match cloud.run_od_instance(market) {
+            Ok(id) => {
+                let cost = cloud.terminate_od_instance(id).unwrap_or(od_price);
+                (ProbeOutcome::Fulfilled, cost)
+            }
+            Err(ApiError::InsufficientInstanceCapacity { .. }) => {
+                (ProbeOutcome::InsufficientCapacity, Price::ZERO)
+            }
+            Err(_) => (ProbeOutcome::ApiLimited, Price::ZERO),
+        };
+        let spot_ratio = cloud
+            .oracle_published_price(market)
+            .map_or(0.0, |p| p.ratio_to(od_price));
+        drop(cloud);
+        self.probes_issued += 1;
+        let _ = self.db.send(DbMsg::Probe(ProbeRecord {
+            at: now,
+            market,
+            kind: ProbeKind::OnDemand,
+            trigger,
+            outcome,
+            spot_ratio,
+            bid: None,
+            cost,
+        }));
+        match outcome {
+            ProbeOutcome::InsufficientCapacity => {
+                self.recovery_due
+                    .entry(market)
+                    .or_insert(now + self.policy.reprobe_interval);
+            }
+            ProbeOutcome::Fulfilled => {
+                self.recovery_due.remove(&market);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_events(&mut self, events: Vec<CloudEvent>, now: SimTime) {
+        // Due recovery probes first (the batch cadence is the tick).
+        let due: Vec<MarketId> = self
+            .recovery_due
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&m, _)| m)
+            .collect();
+        for market in due {
+            self.recovery_due
+                .insert(market, now + self.policy.reprobe_interval);
+            self.probe_od(market, ProbeTrigger::Recovery, now);
+        }
+
+        for event in events {
+            let CloudEvent::PriceChange { market, price, .. } = event else {
+                continue;
+            };
+            debug_assert_eq!(market.region(), self.region);
+            let od = { self.cloud.lock().catalog().od_price(market) };
+            let ratio = price.ratio_to(od);
+            if ratio < self.policy.spike_threshold {
+                continue;
+            }
+            if self
+                .cooldown_until
+                .get(&market)
+                .is_some_and(|&until| now < until)
+            {
+                continue;
+            }
+            self.cooldown_until
+                .insert(market, now + self.policy.market_cooldown);
+            let _ = self.db.send(DbMsg::Spike(SpikeEvent {
+                market,
+                at: now,
+                ratio,
+                probed: true,
+            }));
+            self.probe_od(market, ProbeTrigger::PriceSpike { ratio }, now);
+
+            // Fan out while we still believe the market is unavailable.
+            if self.recovery_due.contains_key(&market) {
+                let (family, zones): (Vec<MarketId>, Vec<MarketId>) = {
+                    let cloud = self.cloud.lock();
+                    (
+                        cloud.catalog().family_siblings(market),
+                        cloud.catalog().az_siblings(market),
+                    )
+                };
+                if self.policy.family_fanout {
+                    for sibling in family {
+                        self.probe_od(
+                            sibling,
+                            ProbeTrigger::FamilyFanout {
+                                origin: market,
+                                origin_ratio: ratio,
+                            },
+                            now,
+                        );
+                    }
+                }
+                if self.policy.cross_az_fanout {
+                    for sibling in zones {
+                        self.probe_od(
+                            sibling,
+                            ProbeTrigger::CrossAzFanout {
+                                origin: market,
+                                origin_ratio: ratio,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn run(mut self, rx: Receiver<RegionMsg>) -> usize {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                RegionMsg::Events(events, now) => self.handle_events(events, now),
+                RegionMsg::Shutdown => break,
+            }
+        }
+        self.probes_issued
+    }
+}
+
+/// Runs the threaded deployment over `cloud` and records into `store`.
+///
+/// Returns the cloud (for post-run oracle inspection) and a run summary.
+/// The store passed in receives every probe and spike.
+pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud, LiveReport) {
+    config.policy.validate().expect("invalid policy");
+    let regions: Vec<Region> = cloud.catalog().regions();
+    let shared: SharedCloud = Arc::new(Mutex::new(cloud));
+    let (db_tx, db_rx) = unbounded::<DbMsg>();
+
+    // Database manager: the only writer to the store.
+    let db_store = store.clone();
+    let db_thread = thread::spawn(move || {
+        let mut written = 0usize;
+        while let Ok(msg) = db_rx.recv() {
+            let mut s = db_store.lock();
+            match msg {
+                DbMsg::Probe(p) => {
+                    s.record_probe(p);
+                    written += 1;
+                }
+                DbMsg::Spike(sp) => s.record_spike(sp),
+            }
+        }
+        written
+    });
+
+    // Region managers.
+    let mut region_txs: HashMap<Region, Sender<RegionMsg>> = HashMap::new();
+    let mut handles = Vec::new();
+    for &region in &regions {
+        let (tx, rx) = unbounded::<RegionMsg>();
+        region_txs.insert(region, tx);
+        let worker = RegionWorker {
+            region,
+            policy: config.policy.clone(),
+            cloud: shared.clone(),
+            db: db_tx.clone(),
+            cooldown_until: HashMap::new(),
+            recovery_due: HashMap::new(),
+            probes_issued: 0,
+        };
+        handles.push((region, thread::spawn(move || worker.run(rx))));
+    }
+    drop(db_tx);
+
+    // Driver: advance the cloud, fan events out per region.
+    let tick = { shared.lock().config().tick };
+    let ticks = config.duration.as_secs() / tick.as_secs().max(1);
+    for _ in 0..ticks {
+        let (events, now) = {
+            let mut cloud = shared.lock();
+            cloud.tick();
+            (cloud.take_events(), cloud.now())
+        };
+        let mut per_region: HashMap<Region, Vec<CloudEvent>> = HashMap::new();
+        for event in events {
+            if let CloudEvent::PriceChange { market, .. } = event {
+                per_region.entry(market.region()).or_default().push(event);
+            }
+        }
+        for (&region, tx) in &region_txs {
+            let batch = per_region.remove(&region).unwrap_or_default();
+            let _ = tx.send(RegionMsg::Events(batch, now));
+        }
+    }
+    for tx in region_txs.values() {
+        let _ = tx.send(RegionMsg::Shutdown);
+    }
+
+    let mut per_region_probes = HashMap::new();
+    for (region, handle) in handles {
+        per_region_probes.insert(region, handle.join().expect("region manager panicked"));
+    }
+    let probes = db_thread.join().expect("database manager panicked");
+
+    let cloud = Arc::into_inner(shared)
+        .expect("all workers joined")
+        .into_inner();
+    (
+        cloud,
+        LiveReport {
+            probes,
+            per_region_probes,
+            ticks,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::shared_store;
+    use cloud_sim::catalog::Catalog;
+    use cloud_sim::config::SimConfig;
+
+    #[test]
+    fn live_run_collects_probes_concurrently() {
+        let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(21));
+        cloud.warmup(20);
+        let store = shared_store();
+        let config = LiveConfig {
+            policy: PolicyConfig {
+                spike_threshold: 0.5,
+                ..PolicyConfig::default()
+            },
+            duration: SimDuration::days(2),
+        };
+        let (cloud, report) = run_live(cloud, store.clone(), config);
+        assert_eq!(report.ticks, 2 * 86_400 / 300);
+        let s = store.lock();
+        assert_eq!(report.probes, s.len());
+        assert!(
+            report.per_region_probes.len() >= 2,
+            "both testbed regions should have managers"
+        );
+        // The cloud is returned intact and time advanced.
+        assert_eq!(
+            cloud.now().as_secs(),
+            20 * 300 + 2 * 86_400 // warmup + live run
+        );
+        // Probe volume equals the per-region sums.
+        let sum: usize = report.per_region_probes.values().sum();
+        assert_eq!(sum, report.probes);
+    }
+
+    #[test]
+    fn live_and_engine_modes_find_the_same_phenomena() {
+        // Not bit-identical (thread interleavings differ) but both must
+        // observe spikes on the same volatile testbed.
+        let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(23));
+        cloud.warmup(20);
+        let store = shared_store();
+        let (_, report) = run_live(
+            cloud,
+            store.clone(),
+            LiveConfig {
+                policy: PolicyConfig {
+                    spike_threshold: 0.5,
+                    ..PolicyConfig::default()
+                },
+                duration: SimDuration::days(3),
+            },
+        );
+        assert!(report.probes > 0, "expected probes in three days");
+        assert!(!store.lock().spikes().is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Probe vocabulary: what SpotLight asks the cloud and what it learns.
+//!
+//! A *probe* is a request for an on-demand or spot server issued purely
+//! to learn whether the market can deliver one (§2.2). Chapter 4 of the
+//! paper names five probing functions — `RequestOnDemand`,
+//! `RequestInsufficiency`, `CheckCapacity`, `BidSpread`, `Revocation` —
+//! all of which reduce to the two [`ProbeKind`]s here plus the
+//! [`ProbeTrigger`] explaining *why* the probe was sent (the trigger is
+//! what the Figure 5.7 attribution analysis needs).
+
+use cloud_sim::ids::MarketId;
+use cloud_sim::price::Price;
+use cloud_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which contract a probe exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// A `run_instances` request for an on-demand server.
+    OnDemand,
+    /// A spot instance request with an explicit bid.
+    Spot,
+}
+
+/// Why SpotLight issued a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProbeTrigger {
+    /// The spot price spiked above the policy threshold (`RequestOnDemand`).
+    PriceSpike {
+        /// Spot/on-demand price ratio at the trigger.
+        ratio: f64,
+    },
+    /// Fan-out after detecting an unavailable server: probing another
+    /// type in the same family, same zone (§3.2.1).
+    FamilyFanout {
+        /// The market whose rejection triggered the fan-out.
+        origin: MarketId,
+        /// The spike ratio of the originating detection.
+        origin_ratio: f64,
+    },
+    /// Fan-out after detecting an unavailable server: probing the same
+    /// type in another zone (§3.2.2).
+    CrossAzFanout {
+        /// The market whose rejection triggered the fan-out.
+        origin: MarketId,
+        /// The spike ratio of the originating detection.
+        origin_ratio: f64,
+    },
+    /// Periodic re-probe of a known-unavailable market until it recovers
+    /// (`RequestInsufficiency`).
+    Recovery,
+    /// Periodic spot capacity check (`CheckCapacity`).
+    Periodic,
+    /// Verification probe of the *other* contract after a detection
+    /// (spot request on od-insufficiency, od request on spot
+    /// capacity-not-available; §5.4).
+    CrossVerify {
+        /// The market whose detection triggered the verification.
+        origin: MarketId,
+    },
+    /// A step of an intrinsic-bid search (`BidSpread`).
+    BidSearch,
+    /// A revocation-observation hold (`Revocation`).
+    RevocationWatch,
+}
+
+impl ProbeTrigger {
+    /// The spike ratio associated with the trigger, when there is one.
+    pub fn spike_ratio(&self) -> Option<f64> {
+        match self {
+            ProbeTrigger::PriceSpike { ratio } => Some(*ratio),
+            ProbeTrigger::FamilyFanout { origin_ratio, .. }
+            | ProbeTrigger::CrossAzFanout { origin_ratio, .. } => Some(*origin_ratio),
+            _ => None,
+        }
+    }
+
+    /// True for the fan-out triggers (related-market probes).
+    pub fn is_related(&self) -> bool {
+        matches!(
+            self,
+            ProbeTrigger::FamilyFanout { .. } | ProbeTrigger::CrossAzFanout { .. }
+        )
+    }
+}
+
+/// What a probe learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// The request was fulfilled: the market is obtainable.
+    Fulfilled,
+    /// On-demand rejection: `InsufficientInstanceCapacity`.
+    InsufficientCapacity,
+    /// Spot rejection: `capacity-not-available`.
+    CapacityNotAvailable,
+    /// Spot hold: bid below the spot price.
+    PriceTooLow,
+    /// Spot hold: `capacity-oversubscribed`.
+    CapacityOversubscribed,
+    /// The probe itself could not be sent (service/rate limits); carries
+    /// no availability information.
+    ApiLimited,
+}
+
+impl ProbeOutcome {
+    /// True when the outcome signals the market could not deliver a
+    /// server (a genuine unavailability observation).
+    pub fn is_unavailable(self) -> bool {
+        matches!(
+            self,
+            ProbeOutcome::InsufficientCapacity | ProbeOutcome::CapacityNotAvailable
+        )
+    }
+
+    /// True when the outcome carries availability information at all.
+    pub fn is_informative(self) -> bool {
+        self != ProbeOutcome::ApiLimited
+    }
+}
+
+/// One probe and its result — the unit record in SpotLight's database.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// When the probe was issued.
+    pub at: SimTime,
+    /// The market probed.
+    pub market: MarketId,
+    /// On-demand or spot.
+    pub kind: ProbeKind,
+    /// Why it was issued.
+    pub trigger: ProbeTrigger,
+    /// What it learned.
+    pub outcome: ProbeOutcome,
+    /// The spot/on-demand price ratio of the market at probe time.
+    pub spot_ratio: f64,
+    /// The bid, for spot probes.
+    pub bid: Option<Price>,
+    /// What the probe cost (fulfilled probes pay the one-hour minimum).
+    pub cost: Price,
+}
+
+/// A measured unavailability interval for one market and contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnavailabilityInterval {
+    /// The market.
+    pub market: MarketId,
+    /// On-demand or spot unavailability.
+    pub kind: ProbeKind,
+    /// First rejected probe.
+    pub start: SimTime,
+    /// First fulfilled probe after the rejections; `None` while open.
+    pub end: Option<SimTime>,
+    /// The spike ratio of the detection that opened the interval.
+    pub detect_ratio: f64,
+    /// Whether the detection came from a related-market fan-out probe.
+    pub detected_via_related: bool,
+}
+
+impl UnavailabilityInterval {
+    /// The measured duration, if the interval has closed.
+    pub fn duration(&self) -> Option<cloud_sim::time::SimDuration> {
+        self.end.map(|e| e.saturating_since(self.start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_sim::ids::{Az, Platform, Region};
+    use cloud_sim::time::SimDuration;
+
+    fn market() -> MarketId {
+        MarketId {
+            az: Az::new(Region::UsEast1, 0),
+            instance_type: "c3.large".parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        }
+    }
+
+    #[test]
+    fn trigger_ratios() {
+        assert_eq!(
+            ProbeTrigger::PriceSpike { ratio: 2.5 }.spike_ratio(),
+            Some(2.5)
+        );
+        assert_eq!(
+            ProbeTrigger::FamilyFanout {
+                origin: market(),
+                origin_ratio: 3.0
+            }
+            .spike_ratio(),
+            Some(3.0)
+        );
+        assert_eq!(ProbeTrigger::Recovery.spike_ratio(), None);
+        assert!(ProbeTrigger::CrossAzFanout {
+            origin: market(),
+            origin_ratio: 1.0
+        }
+        .is_related());
+        assert!(!ProbeTrigger::PriceSpike { ratio: 1.0 }.is_related());
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(ProbeOutcome::InsufficientCapacity.is_unavailable());
+        assert!(ProbeOutcome::CapacityNotAvailable.is_unavailable());
+        assert!(!ProbeOutcome::Fulfilled.is_unavailable());
+        assert!(!ProbeOutcome::PriceTooLow.is_unavailable());
+        assert!(!ProbeOutcome::ApiLimited.is_informative());
+        assert!(ProbeOutcome::Fulfilled.is_informative());
+    }
+
+    #[test]
+    fn interval_duration() {
+        let mut i = UnavailabilityInterval {
+            market: market(),
+            kind: ProbeKind::OnDemand,
+            start: SimTime::from_secs(100),
+            end: None,
+            detect_ratio: 2.0,
+            detected_via_related: false,
+        };
+        assert_eq!(i.duration(), None);
+        i.end = Some(SimTime::from_secs(400));
+        assert_eq!(i.duration(), Some(SimDuration::from_secs(300)));
+    }
+}

@@ -1,0 +1,416 @@
+//! SpotLight's query interface: what applications ask the information
+//! service.
+//!
+//! Chapter 3 sketches the interface ("an application might query
+//! SpotLight for the top ten server types with the longest
+//! mean-time-to-revocation for a bid price equal to the corresponding
+//! on-demand price") and Chapter 6 uses it to steer SpotCheck and SpotOn
+//! toward markets whose on-demand fallbacks are actually obtainable when
+//! spot servers are revoked.
+
+use crate::budget::SpikeRate;
+use crate::probe::{ProbeKind, ProbeOutcome};
+use crate::store::DataStore;
+use cloud_sim::ids::{MarketId, Region};
+use cloud_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Availability summary of one market and contract kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Informative probes issued.
+    pub probes: u64,
+    /// Probes that found the market unobtainable.
+    pub rejections: u64,
+    /// Fraction of the observation span spent unavailable (measured from
+    /// probe-bracketed intervals).
+    pub unavailable_fraction: f64,
+    /// Completed unavailability intervals.
+    pub intervals: u64,
+}
+
+impl AvailabilityStats {
+    /// The availability reading: `1 − unavailable_fraction`.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.unavailable_fraction
+    }
+}
+
+/// The query interface over a probe database.
+#[derive(Debug, Clone, Copy)]
+pub struct SpotLightQuery<'a> {
+    store: &'a DataStore,
+    /// Observation span the fractions are computed over.
+    span: (SimTime, SimTime),
+}
+
+impl<'a> SpotLightQuery<'a> {
+    /// Creates a query interface over `store` for the observation span
+    /// `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(store: &'a DataStore, start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "observation span must be non-empty");
+        SpotLightQuery {
+            store,
+            span: (start, end),
+        }
+    }
+
+    /// Seconds of measured unavailability of `(market, kind)` inside the
+    /// observation span (open intervals run to the span's end).
+    pub fn unavailable_seconds(&self, market: MarketId, kind: ProbeKind) -> u64 {
+        let (start, end) = self.span;
+        self.store
+            .intervals()
+            .iter()
+            .filter(|i| i.market == market && i.kind == kind)
+            .map(|i| {
+                let s = i.start.max(start);
+                let e = i.end.unwrap_or(end).min(end);
+                e.saturating_since(s).as_secs()
+            })
+            .sum()
+    }
+
+    /// Availability summary of `(market, kind)` over the span.
+    pub fn availability(&self, market: MarketId, kind: ProbeKind) -> AvailabilityStats {
+        let (start, end) = self.span;
+        let span_secs = (end - start).as_secs().max(1);
+        let mut probes = 0;
+        let mut rejections = 0;
+        for p in self.store.probes_of(market) {
+            if p.kind == kind && p.outcome.is_informative() {
+                probes += 1;
+                if p.outcome.is_unavailable() {
+                    rejections += 1;
+                }
+            }
+        }
+        let intervals = self
+            .store
+            .intervals()
+            .iter()
+            .filter(|i| i.market == market && i.kind == kind && i.end.is_some())
+            .count() as u64;
+        AvailabilityStats {
+            probes,
+            rejections,
+            unavailable_fraction: self.unavailable_seconds(market, kind) as f64
+                / span_secs as f64,
+            intervals,
+        }
+    }
+
+    /// All measured unavailability durations of a contract kind.
+    pub fn unavailability_durations(&self, kind: ProbeKind) -> Vec<SimDuration> {
+        self.store
+            .intervals()
+            .iter()
+            .filter(|i| i.kind == kind)
+            .filter_map(|i| i.duration())
+            .collect()
+    }
+
+    /// Mean time from acquiring a spot instance (at a bid equal to the
+    /// on-demand price) to its revocation, from the revocation-watch
+    /// observations. Holds that survived count at their full hold length
+    /// (a conservative lower bound). `None` without observations.
+    pub fn mean_time_to_revocation(&self, market: MarketId) -> Option<SimDuration> {
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for r in self.store.revocations() {
+            if r.market != market {
+                continue;
+            }
+            let end = r.revoked_at.or(r.released_at)?;
+            total += end.saturating_since(r.acquired_at).as_secs();
+            n += 1;
+        }
+        (n > 0).then(|| SimDuration::from_secs(total / n))
+    }
+
+    /// Markets ranked by on-demand availability (most available first),
+    /// optionally restricted to a region. Only markets with at least
+    /// `min_probes` informative probes are ranked.
+    pub fn top_available_markets(
+        &self,
+        candidates: &[MarketId],
+        region: Option<Region>,
+        min_probes: u64,
+        n: usize,
+    ) -> Vec<(MarketId, AvailabilityStats)> {
+        let mut rows: Vec<(MarketId, AvailabilityStats)> = candidates
+            .iter()
+            .copied()
+            .filter(|m| region.is_none_or(|r| m.region() == r))
+            .map(|m| (m, self.availability(m, ProbeKind::OnDemand)))
+            .filter(|(_, st)| st.probes >= min_probes)
+            .collect();
+        rows.sort_by(|a, b| {
+            a.1.unavailable_fraction
+                .partial_cmp(&b.1.unavailable_fraction)
+                .expect("fractions are finite")
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// P(on-demand of `b` unavailable within `window` | on-demand
+    /// detection of `a`): the correlation SpotCheck must avoid in its
+    /// fallback markets (§6.1). `None` when `a` has no detections.
+    pub fn conditional_unavailability(
+        &self,
+        a: MarketId,
+        b: MarketId,
+        window: SimDuration,
+    ) -> Option<f64> {
+        let b_times: Vec<SimTime> = self
+            .store
+            .probes_of(b)
+            .filter(|p| p.kind == ProbeKind::OnDemand && p.outcome.is_unavailable())
+            .map(|p| p.at)
+            .collect();
+        let mut trials = 0u64;
+        let mut hits = 0u64;
+        for i in self.store.intervals() {
+            if i.market != a || i.kind != ProbeKind::OnDemand {
+                continue;
+            }
+            trials += 1;
+            let to = i.start + window;
+            if b_times.iter().any(|&t| t >= i.start && t <= to) {
+                hits += 1;
+            }
+        }
+        (trials > 0).then(|| hits as f64 / trials as f64)
+    }
+
+    /// Fallback markets for `market`, ranked by (conditional correlation
+    /// with `market`, then own unavailability): the SpotLight advice that
+    /// restores SpotCheck/SpotOn to near-100% availability (Chapter 6).
+    ///
+    /// Candidates sharing `market`'s capacity pool (same family + zone)
+    /// are excluded outright — they fail together by construction.
+    pub fn uncorrelated_fallbacks(
+        &self,
+        market: MarketId,
+        candidates: &[MarketId],
+        window: SimDuration,
+        n: usize,
+    ) -> Vec<MarketId> {
+        let mut rows: Vec<(MarketId, f64, f64)> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != market && c.pool() != market.pool())
+            .map(|c| {
+                let corr = self
+                    .conditional_unavailability(market, c, window)
+                    .unwrap_or(0.0);
+                let own = self.availability(c, ProbeKind::OnDemand).unavailable_fraction;
+                (c, corr, own)
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            (a.1, a.2)
+                .partial_cmp(&(b.1, b.2))
+                .expect("finite scores")
+        });
+        rows.into_iter().take(n).map(|(m, _, _)| m).collect()
+    }
+
+    /// Historical spike rates per window at each candidate threshold —
+    /// the input to [`crate::budget::calibrate_threshold`] (§3.4).
+    pub fn spike_rates(&self, thresholds: &[f64], window: SimDuration) -> Vec<SpikeRate> {
+        let (start, end) = self.span;
+        let windows = ((end - start).as_secs() as f64 / window.as_secs().max(1) as f64).max(1.0);
+        thresholds
+            .iter()
+            .map(|&t| SpikeRate {
+                threshold: t,
+                spikes_per_window: self
+                    .store
+                    .spikes()
+                    .iter()
+                    .filter(|s| s.ratio >= t)
+                    .count() as f64
+                    / windows,
+            })
+            .collect()
+    }
+
+    /// Regions ordered by their measured on-demand rejection share — a
+    /// quick "where is the cloud under-provisioned" view (§5.2.2).
+    pub fn rejection_counts_by_region(&self) -> HashMap<Region, u64> {
+        let mut counts = HashMap::new();
+        for p in self.store.probes() {
+            if p.kind == ProbeKind::OnDemand
+                && p.outcome == ProbeOutcome::InsufficientCapacity
+            {
+                *counts.entry(p.market.region()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Markets that were probed at least once.
+    pub fn observed_markets(&self) -> HashSet<MarketId> {
+        self.store.probes().iter().map(|p| p.market).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeRecord, ProbeTrigger};
+    use crate::store::RevocationRecord;
+    use cloud_sim::ids::{Az, Platform};
+    use cloud_sim::price::Price;
+
+    fn market(az: u8, ty: &str) -> MarketId {
+        MarketId {
+            az: Az::new(Region::UsEast1, az),
+            instance_type: ty.parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        }
+    }
+
+    fn probe(at: u64, m: MarketId, outcome: ProbeOutcome) -> ProbeRecord {
+        ProbeRecord {
+            at: SimTime::from_secs(at),
+            market: m,
+            kind: ProbeKind::OnDemand,
+            trigger: ProbeTrigger::PriceSpike { ratio: 2.0 },
+            outcome,
+            spot_ratio: 2.0,
+            bid: None,
+            cost: Price::ZERO,
+        }
+    }
+
+    fn hour_span() -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::from_secs(3600))
+    }
+
+    #[test]
+    fn availability_fraction_from_intervals() {
+        let mut s = DataStore::new();
+        let m = market(0, "c3.large");
+        s.record_probe(probe(0, m, ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(900, m, ProbeOutcome::Fulfilled));
+        let (a, b) = hour_span();
+        let q = SpotLightQuery::new(&s, a, b);
+        let st = q.availability(m, ProbeKind::OnDemand);
+        assert_eq!(st.probes, 2);
+        assert_eq!(st.rejections, 1);
+        assert!((st.unavailable_fraction - 0.25).abs() < 1e-9);
+        assert!((st.availability() - 0.75).abs() < 1e-9);
+        assert_eq!(st.intervals, 1);
+    }
+
+    #[test]
+    fn open_intervals_run_to_span_end() {
+        let mut s = DataStore::new();
+        let m = market(0, "c3.large");
+        s.record_probe(probe(1800, m, ProbeOutcome::InsufficientCapacity));
+        let (a, b) = hour_span();
+        let q = SpotLightQuery::new(&s, a, b);
+        assert_eq!(q.unavailable_seconds(m, ProbeKind::OnDemand), 1800);
+    }
+
+    #[test]
+    fn mttr_averages_revocations() {
+        let mut s = DataStore::new();
+        let m = market(0, "c3.large");
+        for (start, end) in [(0u64, 3600u64), (10_000, 11_800)] {
+            s.record_revocation(RevocationRecord {
+                market: m,
+                acquired_at: SimTime::from_secs(start),
+                bid: Price::from_dollars(0.1),
+                revoked_at: Some(SimTime::from_secs(end)),
+                released_at: Some(SimTime::from_secs(end)),
+            });
+        }
+        let (a, b) = hour_span();
+        let q = SpotLightQuery::new(&s, a, b);
+        assert_eq!(
+            q.mean_time_to_revocation(m),
+            Some(SimDuration::from_secs((3600 + 1800) / 2))
+        );
+        assert_eq!(q.mean_time_to_revocation(market(1, "c3.large")), None);
+    }
+
+    #[test]
+    fn conditional_unavailability_and_fallbacks() {
+        let mut s = DataStore::new();
+        let m = market(0, "c3.large");
+        let correlated = market(1, "c3.large");
+        let independent = market(1, "m3.large");
+        // Two detections of m; `correlated` rejected within the window
+        // of both, `independent` never rejected.
+        for t in [0u64, 10_000] {
+            s.record_probe(probe(t, m, ProbeOutcome::InsufficientCapacity));
+            s.record_probe(probe(t + 60, correlated, ProbeOutcome::InsufficientCapacity));
+            s.record_probe(probe(t + 400, m, ProbeOutcome::Fulfilled));
+            s.record_probe(probe(t + 400, correlated, ProbeOutcome::Fulfilled));
+            s.record_probe(probe(t + 60, independent, ProbeOutcome::Fulfilled));
+        }
+        let q = SpotLightQuery::new(&s, SimTime::ZERO, SimTime::from_secs(20_000));
+        let w = SimDuration::from_secs(900);
+        assert_eq!(q.conditional_unavailability(m, correlated, w), Some(1.0));
+        assert_eq!(q.conditional_unavailability(m, independent, w), Some(0.0));
+        let fallbacks =
+            q.uncorrelated_fallbacks(m, &[correlated, independent], w, 2);
+        assert_eq!(fallbacks[0], independent);
+        // Same-pool candidates are excluded.
+        let same_pool = market(0, "c3.xlarge");
+        let only = q.uncorrelated_fallbacks(m, &[same_pool], w, 5);
+        assert!(only.is_empty());
+    }
+
+    #[test]
+    fn top_available_requires_min_probes() {
+        let mut s = DataStore::new();
+        let good = market(0, "c3.large");
+        let sparse = market(1, "c3.large");
+        for t in 0..5 {
+            s.record_probe(probe(t * 100, good, ProbeOutcome::Fulfilled));
+        }
+        s.record_probe(probe(0, sparse, ProbeOutcome::Fulfilled));
+        let (a, b) = hour_span();
+        let q = SpotLightQuery::new(&s, a, b);
+        let top = q.top_available_markets(&[good, sparse], None, 3, 10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, good);
+    }
+
+    #[test]
+    fn spike_rates_count_per_window() {
+        let mut s = DataStore::new();
+        let m = market(0, "c3.large");
+        for (t, r) in [(0u64, 1.5), (600, 2.5), (1200, 6.0)] {
+            s.record_spike(crate::store::SpikeEvent {
+                market: m,
+                at: SimTime::from_secs(t),
+                ratio: r,
+                probed: true,
+            });
+        }
+        let (a, b) = hour_span();
+        let q = SpotLightQuery::new(&s, a, b);
+        let rates = q.spike_rates(&[1.0, 2.0, 5.0], SimDuration::from_secs(1800));
+        assert_eq!(rates[0].spikes_per_window, 1.5); // 3 spikes / 2 windows
+        assert_eq!(rates[1].spikes_per_window, 1.0);
+        assert_eq!(rates[2].spikes_per_window, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_span_panics() {
+        let s = DataStore::new();
+        let _ = SpotLightQuery::new(&s, SimTime::from_secs(10), SimTime::from_secs(10));
+    }
+}

@@ -1,0 +1,309 @@
+//! SpotLight's database: every probe, spike, unavailability interval,
+//! revocation observation, and intrinsic-bid measurement.
+//!
+//! The prototype in the paper logged "all states and status changes
+//! timestamps ... into database" through a dedicated database manager
+//! (Chapter 4). Here the store is an indexed in-memory log; the analysis
+//! (`crate::analysis`) and the query interface (`crate::query`) are pure
+//! functions over it.
+
+use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, UnavailabilityInterval};
+use cloud_sim::ids::MarketId;
+use cloud_sim::price::Price;
+use cloud_sim::time::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A spike observation: a published price crossing SpotLight's radar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeEvent {
+    /// The market that spiked.
+    pub market: MarketId,
+    /// When the spike was observed.
+    pub at: SimTime,
+    /// Spot/on-demand price ratio.
+    pub ratio: f64,
+    /// Whether the policy issued a probe for it (sampling/cooldown/budget
+    /// may suppress probes; unprobed spikes are excluded from
+    /// conditional-probability trials).
+    pub probed: bool,
+}
+
+/// One revocation-watch observation (the `Revocation` probing function).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RevocationRecord {
+    /// The watched market.
+    pub market: MarketId,
+    /// When the spot instance was acquired.
+    pub acquired_at: SimTime,
+    /// The bid it was acquired with.
+    pub bid: Price,
+    /// When the platform revoked it; `None` if it survived the hold.
+    pub revoked_at: Option<SimTime>,
+    /// When the hold ended (revocation or voluntary release).
+    pub released_at: Option<SimTime>,
+}
+
+/// One intrinsic-bid measurement (the `BidSpread` probing function).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntrinsicBidRecord {
+    /// The market measured.
+    pub market: MarketId,
+    /// When the search ran.
+    pub at: SimTime,
+    /// The published spot price at the time.
+    pub published: Price,
+    /// The lowest bid that actually obtained an instance.
+    pub intrinsic: Price,
+    /// Spot requests the search needed (the paper reports 2–3 average,
+    /// 6 maximum).
+    pub attempts: u32,
+}
+
+/// The in-memory database.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    probes: Vec<ProbeRecord>,
+    probes_by_market: HashMap<MarketId, Vec<usize>>,
+    spikes: Vec<SpikeEvent>,
+    intervals: Vec<UnavailabilityInterval>,
+    open_intervals: HashMap<(MarketId, ProbeKind), usize>,
+    revocations: Vec<RevocationRecord>,
+    intrinsic_bids: Vec<IntrinsicBidRecord>,
+    total_cost: Price,
+    suppressed_probes: u64,
+}
+
+/// A shareable handle to the store (engine agents and live-mode threads
+/// both write through this).
+pub type SharedStore = Arc<Mutex<DataStore>>;
+
+/// Creates an empty shared store.
+pub fn shared_store() -> SharedStore {
+    Arc::new(Mutex::new(DataStore::default()))
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DataStore::default()
+    }
+
+    /// Records a probe, maintaining unavailability intervals: a rejected
+    /// probe opens an interval for its `(market, kind)` (if none is
+    /// open); a fulfilled probe closes it. Returns `true` when this
+    /// probe *opened* a new interval — i.e. it is an initial detection.
+    pub fn record_probe(&mut self, probe: ProbeRecord) -> bool {
+        let idx = self.probes.len();
+        self.probes.push(probe);
+        self.probes_by_market
+            .entry(probe.market)
+            .or_default()
+            .push(idx);
+        self.total_cost += probe.cost;
+
+        let key = (probe.market, probe.kind);
+        if probe.outcome.is_unavailable() {
+            if self.open_intervals.contains_key(&key) {
+                return false;
+            }
+            self.open_intervals.insert(key, self.intervals.len());
+            self.intervals.push(UnavailabilityInterval {
+                market: probe.market,
+                kind: probe.kind,
+                start: probe.at,
+                end: None,
+                detect_ratio: probe.spot_ratio,
+                detected_via_related: probe.trigger.is_related(),
+            });
+            true
+        } else {
+            if probe.outcome == ProbeOutcome::Fulfilled {
+                if let Some(idx) = self.open_intervals.remove(&key) {
+                    self.intervals[idx].end = Some(probe.at);
+                }
+            }
+            false
+        }
+    }
+
+    /// Records a spike observation.
+    pub fn record_spike(&mut self, spike: SpikeEvent) {
+        self.spikes.push(spike);
+    }
+
+    /// Records that the policy wanted to probe but was suppressed by
+    /// budget or service limits.
+    pub fn record_suppressed(&mut self) {
+        self.suppressed_probes += 1;
+    }
+
+    /// Records a revocation-watch observation.
+    pub fn record_revocation(&mut self, rec: RevocationRecord) {
+        self.revocations.push(rec);
+    }
+
+    /// Records an intrinsic-bid measurement.
+    pub fn record_intrinsic_bid(&mut self, rec: IntrinsicBidRecord) {
+        self.intrinsic_bids.push(rec);
+    }
+
+    /// All probes, oldest first.
+    pub fn probes(&self) -> &[ProbeRecord] {
+        &self.probes
+    }
+
+    /// The probes of one market, oldest first.
+    pub fn probes_of(&self, market: MarketId) -> impl Iterator<Item = &ProbeRecord> + '_ {
+        self.probes_by_market
+            .get(&market)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.probes[i])
+    }
+
+    /// All spike observations.
+    pub fn spikes(&self) -> &[SpikeEvent] {
+        &self.spikes
+    }
+
+    /// All unavailability intervals (open ones have `end == None`).
+    pub fn intervals(&self) -> &[UnavailabilityInterval] {
+        &self.intervals
+    }
+
+    /// Whether `(market, kind)` has an open unavailability interval.
+    pub fn is_unavailable(&self, market: MarketId, kind: ProbeKind) -> bool {
+        self.open_intervals.contains_key(&(market, kind))
+    }
+
+    /// All revocation observations.
+    pub fn revocations(&self) -> &[RevocationRecord] {
+        &self.revocations
+    }
+
+    /// All intrinsic-bid measurements.
+    pub fn intrinsic_bids(&self) -> &[IntrinsicBidRecord] {
+        &self.intrinsic_bids
+    }
+
+    /// Total money spent on probes.
+    pub fn total_cost(&self) -> Price {
+        self.total_cost
+    }
+
+    /// Probes suppressed by budget or service limits.
+    pub fn suppressed_probes(&self) -> u64 {
+        self.suppressed_probes
+    }
+
+    /// Number of probes recorded.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when no probes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeTrigger;
+    use cloud_sim::ids::{Az, Platform, Region};
+
+    fn market(i: u8) -> MarketId {
+        MarketId {
+            az: Az::new(Region::UsEast1, i),
+            instance_type: "c3.large".parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        }
+    }
+
+    fn probe(at: u64, m: MarketId, outcome: ProbeOutcome) -> ProbeRecord {
+        ProbeRecord {
+            at: SimTime::from_secs(at),
+            market: m,
+            kind: ProbeKind::OnDemand,
+            trigger: ProbeTrigger::PriceSpike { ratio: 2.0 },
+            outcome,
+            spot_ratio: 2.0,
+            bid: None,
+            cost: Price::from_dollars(0.1),
+        }
+    }
+
+    #[test]
+    fn rejection_opens_interval_once() {
+        let mut s = DataStore::new();
+        assert!(s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity)));
+        assert!(!s.record_probe(probe(20, market(0), ProbeOutcome::InsufficientCapacity)));
+        assert!(s.is_unavailable(market(0), ProbeKind::OnDemand));
+        assert_eq!(s.intervals().len(), 1);
+    }
+
+    #[test]
+    fn fulfilment_closes_interval() {
+        let mut s = DataStore::new();
+        s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(310, market(0), ProbeOutcome::Fulfilled));
+        assert!(!s.is_unavailable(market(0), ProbeKind::OnDemand));
+        let i = s.intervals()[0];
+        assert_eq!(i.end, Some(SimTime::from_secs(310)));
+        assert_eq!(i.duration().unwrap().as_secs(), 300);
+    }
+
+    #[test]
+    fn kinds_tracked_independently() {
+        let mut s = DataStore::new();
+        s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity));
+        let mut sp = probe(20, market(0), ProbeOutcome::CapacityNotAvailable);
+        sp.kind = ProbeKind::Spot;
+        assert!(s.record_probe(sp));
+        assert!(s.is_unavailable(market(0), ProbeKind::OnDemand));
+        assert!(s.is_unavailable(market(0), ProbeKind::Spot));
+        assert_eq!(s.intervals().len(), 2);
+    }
+
+    #[test]
+    fn held_outcomes_do_not_close_intervals() {
+        let mut s = DataStore::new();
+        let mut sp = probe(10, market(0), ProbeOutcome::CapacityNotAvailable);
+        sp.kind = ProbeKind::Spot;
+        s.record_probe(sp);
+        let mut ptl = probe(20, market(0), ProbeOutcome::PriceTooLow);
+        ptl.kind = ProbeKind::Spot;
+        s.record_probe(ptl);
+        assert!(s.is_unavailable(market(0), ProbeKind::Spot));
+    }
+
+    #[test]
+    fn cost_accumulates_and_indexes_work() {
+        let mut s = DataStore::new();
+        s.record_probe(probe(10, market(0), ProbeOutcome::Fulfilled));
+        s.record_probe(probe(20, market(1), ProbeOutcome::Fulfilled));
+        s.record_probe(probe(30, market(0), ProbeOutcome::Fulfilled));
+        assert_eq!(s.total_cost(), Price::from_dollars(0.3));
+        assert_eq!(s.probes_of(market(0)).count(), 2);
+        assert_eq!(s.probes_of(market(1)).count(), 1);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn shared_store_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedStore>();
+        let s = shared_store();
+        s.lock().record_spike(SpikeEvent {
+            market: market(0),
+            at: SimTime::ZERO,
+            ratio: 1.5,
+            probed: true,
+        });
+        assert_eq!(s.lock().spikes().len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # spotlight-derivative
+//!
+//! The two derivative-cloud case studies of the SpotLight paper
+//! (Chapter 6), replayed over SpotLight's measured data:
+//!
+//! * [`spotcheck`] — SpotCheck, a derivative IaaS that live-migrates
+//!   nested VMs from revoked spot servers to on-demand servers
+//!   (Figure 6.1: its availability collapses from four nines to 72–92%
+//!   because on-demand servers are least available exactly when spot
+//!   prices spike; a SpotLight-informed uncorrelated fallback restores
+//!   it);
+//! * [`spoton`] — SpotOn, a batch service with checkpoint/replication
+//!   fault tolerance and the Equation 6.1 expected-cost market selection
+//!   (Figure 6.2: running times inflate 15–72% for the same reason).
+//!
+//! Both consume the measured artifacts the information service
+//! produces: a market's published price trace ([`series::PriceSeries`])
+//! and its probe-measured on-demand unavailability intervals
+//! ([`series::AvailabilityTimeline`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cloud_sim::price::Price;
+//! use cloud_sim::time::{SimDuration, SimTime};
+//! use cloud_sim::trace::PricePoint;
+//! use spotlight_derivative::series::{AvailabilityTimeline, PriceSeries};
+//! use spotlight_derivative::spotcheck::{replay, SpotCheckConfig};
+//!
+//! let prices = PriceSeries::new(vec![
+//!     PricePoint { at: SimTime::ZERO, price: Price::from_dollars(0.1) },
+//!     PricePoint { at: SimTime::from_secs(3600), price: Price::from_dollars(0.6) },
+//!     PricePoint { at: SimTime::from_secs(7200), price: Price::from_dollars(0.1) },
+//! ]);
+//! let report = replay(
+//!     &prices,
+//!     Price::from_dollars(0.5),
+//!     &AvailabilityTimeline::default(),
+//!     &SpotCheckConfig::default(),
+//!     SimTime::ZERO,
+//!     SimTime::from_secs(86_400),
+//! );
+//! assert_eq!(report.revocations, 1);
+//! assert!(report.availability > 0.9999);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod series;
+pub mod spotcheck;
+pub mod spoton;
+
+pub use series::{AvailabilityTimeline, PriceSeries};

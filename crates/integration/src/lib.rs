@@ -1,0 +1,3 @@
+//! Test-and-example hub crate: binds the workspace-level `tests/` and
+//! `examples/` directories to the library crates. See the `[[test]]` and
+//! `[[example]]` entries in `Cargo.toml`.

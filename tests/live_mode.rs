@@ -1,0 +1,103 @@
+//! Integration tests of the threaded (Chapter 4) deployment: the
+//! manager hierarchy must produce a store equivalent in structure to the
+//! engine deployment's.
+
+use cloud_sim::catalog::Catalog;
+use cloud_sim::cloud::Cloud;
+use cloud_sim::config::SimConfig;
+use cloud_sim::time::SimDuration;
+use spotlight_core::manager::{run_live, LiveConfig};
+use spotlight_core::policy::PolicyConfig;
+use spotlight_core::probe::{ProbeKind, ProbeOutcome};
+use spotlight_core::store::shared_store;
+
+fn policy() -> PolicyConfig {
+    PolicyConfig {
+        spike_threshold: 0.5,
+        ..PolicyConfig::default()
+    }
+}
+
+#[test]
+fn live_store_is_structurally_sound() {
+    let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(41));
+    cloud.warmup(20);
+    let store = shared_store();
+    let (cloud, report) = run_live(
+        cloud,
+        store.clone(),
+        LiveConfig {
+            policy: policy(),
+            duration: SimDuration::days(3),
+        },
+    );
+    let s = store.lock();
+    assert_eq!(report.probes, s.len());
+    for p in s.probes() {
+        assert!(cloud.catalog().market_exists(p.market));
+        assert_eq!(p.kind, ProbeKind::OnDemand, "live mode probes on-demand");
+    }
+    // Spikes recorded by region managers reference probed markets only.
+    for spike in s.spikes() {
+        assert!(spike.probed);
+        assert!(spike.ratio >= 0.5, "below-threshold spikes are not probed");
+    }
+    // Intervals only open on rejections and close on fulfilment.
+    for i in s.intervals() {
+        if let Some(end) = i.end {
+            assert!(end > i.start);
+        }
+    }
+}
+
+#[test]
+fn region_managers_stay_in_their_region() {
+    let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(43));
+    cloud.warmup(20);
+    let store = shared_store();
+    let (_, report) = run_live(
+        cloud,
+        store.clone(),
+        LiveConfig {
+            policy: policy(),
+            duration: SimDuration::days(2),
+        },
+    );
+    // Per-region totals account for every probe.
+    let total: usize = report.per_region_probes.values().sum();
+    assert_eq!(total, report.probes);
+}
+
+#[test]
+fn live_mode_respects_service_limits() {
+    // Even with many concurrent spikes the region managers go through
+    // the rate-limited API; ApiLimited outcomes are recorded, never
+    // panics.
+    let mut config = SimConfig::paper(47);
+    config.limits.api_calls_per_minute_per_region = 12; // very tight
+    let mut cloud = Cloud::new(Catalog::testbed(), config);
+    cloud.warmup(20);
+    let store = shared_store();
+    let (_, _) = run_live(
+        cloud,
+        store.clone(),
+        LiveConfig {
+            policy: PolicyConfig {
+                spike_threshold: 0.3,
+                ..PolicyConfig::default()
+            },
+            duration: SimDuration::days(2),
+        },
+    );
+    let s = store.lock();
+    let limited = s
+        .probes()
+        .iter()
+        .filter(|p| p.outcome == ProbeOutcome::ApiLimited)
+        .count();
+    // With a 12/min budget and fan-out probing, throttling must appear.
+    assert!(
+        limited > 0,
+        "expected throttled probes under a 12 calls/min limit"
+    );
+}

@@ -1,0 +1,227 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use cloud_sim::catalog::Catalog;
+use cloud_sim::config::{DemandProfile, SimConfig};
+use cloud_sim::ids::{Az, MarketId, Platform, Region};
+use cloud_sim::market::clear;
+use cloud_sim::price::Price;
+use cloud_sim::time::SimTime;
+use proptest::prelude::*;
+use spotlight_core::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
+use spotlight_core::stats::{BucketedRate, Ecdf};
+use spotlight_core::store::DataStore;
+use spotlight_derivative::series::AvailabilityTimeline;
+
+fn any_market() -> impl Strategy<Value = MarketId> {
+    (0u8..2, prop_oneof![Just("c3.large"), Just("c3.xlarge"), Just("c3.2xlarge")]).prop_map(
+        |(az, ty)| MarketId {
+            az: Az::new(Region::UsEast1, az),
+            instance_type: ty.parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        },
+    )
+}
+
+proptest! {
+    // ---- auction clearing --------------------------------------------
+
+    #[test]
+    fn clearing_price_is_monotone_in_supply(
+        masses in proptest::collection::vec(0.0f64..50.0, 5),
+        s1 in 0.0f64..100.0,
+        s2 in 0.0f64..100.0,
+    ) {
+        let multiples = [0.1, 0.5, 1.0, 2.0, 10.0];
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let c_lo = clear(&multiples, &masses, lo);
+        let c_hi = clear(&multiples, &masses, hi);
+        // Less supply never means a lower price.
+        prop_assert!(c_lo.price_multiple >= c_hi.price_multiple);
+    }
+
+    #[test]
+    fn clearing_serves_at_most_supply_and_demand(
+        masses in proptest::collection::vec(0.0f64..50.0, 5),
+        supply in 0.0f64..200.0,
+    ) {
+        let multiples = [0.1, 0.5, 1.0, 2.0, 10.0];
+        let c = clear(&multiples, &masses, supply);
+        let total: f64 = masses.iter().sum();
+        prop_assert!(c.served <= supply + 1e-9);
+        prop_assert!(c.served <= total + 1e-9);
+        prop_assert!(c.price_multiple >= multiples[0]);
+        prop_assert!(c.price_multiple <= multiples[4]);
+    }
+
+    // ---- price arithmetic --------------------------------------------
+
+    #[test]
+    fn price_scale_monotone(dollars in 0.0f64..100.0, a in 0.0f64..5.0, b in 0.0f64..5.0) {
+        let p = Price::from_dollars(dollars);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.scale(lo) <= p.scale(hi));
+    }
+
+    #[test]
+    fn price_midpoint_between(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (pa, pb) = (Price::from_micros(a), Price::from_micros(b));
+        let mid = pa.midpoint(pb);
+        prop_assert!(mid >= pa.min(pb) && mid <= pa.max(pb));
+    }
+
+    // ---- statistics ---------------------------------------------------
+
+    #[test]
+    fn bucketed_rates_stay_probabilities(
+        values in proptest::collection::vec((0.0f64..12.0, any::<bool>()), 1..200),
+    ) {
+        let mut r = BucketedRate::new(&[0.0, 1.0, 2.0, 5.0, 10.0]);
+        for (v, hit) in values {
+            r.observe(v, hit);
+        }
+        for b in 0..5 {
+            if let Some(p) = r.rate(b) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            if let Some(p) = r.cumulative_rate(b) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            prop_assert!(r.cumulative_successes(b) <= r.cumulative_trials(b));
+        }
+    }
+
+    #[test]
+    fn ecdf_is_monotone(samples in proptest::collection::vec(0.0f64..1000.0, 0..200)) {
+        let cdf = Ecdf::from_samples(samples);
+        let mut last = 0.0;
+        for x in [0.0, 1.0, 10.0, 100.0, 1000.0] {
+            let f = cdf.fraction_at_or_below(x);
+            prop_assert!(f >= last);
+            prop_assert!((0.0..=1.0).contains(&f));
+            last = f;
+        }
+    }
+
+    // ---- availability timeline ---------------------------------------
+
+    #[test]
+    fn timeline_merge_is_sound(
+        raw in proptest::collection::vec((0u64..10_000, 0u64..10_000), 0..30),
+    ) {
+        let intervals: Vec<(SimTime, SimTime)> = raw
+            .iter()
+            .map(|&(a, b)| (SimTime::from_secs(a), SimTime::from_secs(a + b % 1000)))
+            .collect();
+        let tl = AvailabilityTimeline::from_intervals(intervals.clone());
+        // Merged intervals are sorted, non-overlapping, non-degenerate.
+        for w in tl.intervals().windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+        for &(s, e) in tl.intervals() {
+            prop_assert!(e > s);
+        }
+        // Any point inside an input interval is unavailable.
+        for &(s, e) in &intervals {
+            if e > s {
+                prop_assert!(tl.unavailable_at(s));
+                prop_assert!(tl.unavailable_at(SimTime::from_secs(e.as_secs() - 1)));
+            }
+        }
+        // Totals are bounded by the span.
+        let total = tl.unavailable_secs(SimTime::ZERO, SimTime::from_secs(20_000));
+        prop_assert!(total <= 20_000);
+    }
+
+    // ---- probe store --------------------------------------------------
+
+    #[test]
+    fn store_intervals_always_well_formed(
+        seq in proptest::collection::vec(
+            (any_market(), prop_oneof![
+                Just(ProbeOutcome::Fulfilled),
+                Just(ProbeOutcome::InsufficientCapacity),
+                Just(ProbeOutcome::PriceTooLow),
+            ], 0u64..100_000),
+            0..100,
+        ),
+    ) {
+        let mut sorted = seq;
+        sorted.sort_by_key(|&(_, _, t)| t);
+        let mut store = DataStore::new();
+        for (market, outcome, t) in sorted {
+            store.record_probe(ProbeRecord {
+                at: SimTime::from_secs(t),
+                market,
+                kind: ProbeKind::OnDemand,
+                trigger: ProbeTrigger::Recovery,
+                outcome,
+                spot_ratio: 0.5,
+                bid: None,
+                cost: Price::ZERO,
+            });
+        }
+        // Closed intervals end at or after their start; at most one open
+        // interval per market/kind.
+        let mut open = std::collections::HashSet::new();
+        for i in store.intervals() {
+            match i.end {
+                Some(end) => prop_assert!(end >= i.start),
+                None => prop_assert!(open.insert((i.market, i.kind))),
+            }
+        }
+    }
+}
+
+// ---- whole-cloud conservation under random API traffic ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn pool_conservation_under_random_api_traffic(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0u8..4, 0usize..14, 0.0f64..2.0), 1..60),
+    ) {
+        let mut config = SimConfig::paper(seed);
+        config.demand = DemandProfile::paper_calibration();
+        let mut cloud = cloud_sim::cloud::Cloud::new(Catalog::testbed(), config);
+        cloud.warmup(10);
+        let markets: Vec<MarketId> = cloud.catalog().markets().to_vec();
+        let mut od_instances = Vec::new();
+        let mut spot_requests = Vec::new();
+        for (op, midx, ratio) in ops {
+            let market = markets[midx % markets.len()];
+            match op {
+                0 => {
+                    if let Ok(id) = cloud.run_od_instance(market) {
+                        od_instances.push(id);
+                    }
+                }
+                1 => {
+                    if let Some(id) = od_instances.pop() {
+                        let _ = cloud.terminate_od_instance(id);
+                    }
+                }
+                2 => {
+                    let bid = cloud.catalog().od_price(market).scale(0.1 + ratio);
+                    if let Ok(sub) = cloud.request_spot_instance(market, bid) {
+                        spot_requests.push(sub.id);
+                    }
+                }
+                _ => {
+                    cloud.tick();
+                    if let Some(id) = spot_requests.pop() {
+                        let _ = cloud.cancel_spot_request(id);
+                        let _ = cloud.terminate_spot_instance(id);
+                    }
+                }
+            }
+            // The oracle stays coherent after every operation.
+            for &pool in cloud.catalog().pools() {
+                let snap = cloud.oracle_pool(pool).unwrap();
+                prop_assert!(snap.occupied() <= snap.physical);
+                prop_assert!(snap.reserved_running <= snap.reserved_granted);
+            }
+        }
+    }
+}
