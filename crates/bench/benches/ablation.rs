@@ -4,10 +4,10 @@
 //! to the figures — are visible by re-running `repro` with modified
 //! profiles; these benches pin the performance envelope.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cloud_sim::catalog::Catalog;
 use cloud_sim::cloud::Cloud;
 use cloud_sim::config::{DemandProfile, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn cloud_with(profile: DemandProfile, seed: u64) -> Cloud {

@@ -1,68 +1,26 @@
 //! Analysis kernels on a synthetic probe store: these are the functions
 //! that crunch the three-month database into the paper's figures.
 
+use cloud_sim::time::SimDuration;
 use criterion::{criterion_group, criterion_main, Criterion};
-use cloud_sim::ids::{Az, MarketId, Platform, Region};
-use cloud_sim::price::Price;
-use cloud_sim::time::{SimDuration, SimTime};
+use spotlight_bench::synthetic_store;
 use spotlight_core::analysis::{
     cross_market_unavailability, duration_cdf, spike_unavailability, spot_cna_curve,
 };
-use spotlight_core::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
-use spotlight_core::store::{DataStore, SpikeEvent};
 use std::hint::black_box;
-
-/// Builds a deterministic synthetic store with `n` probes and spikes.
-fn synthetic_store(n: u64) -> DataStore {
-    let mut store = DataStore::new();
-    let types = ["c3.large", "c3.xlarge", "c3.2xlarge", "m3.large"];
-    for i in 0..n {
-        let market = MarketId {
-            az: Az::new(Region::UsEast1, (i % 3) as u8),
-            instance_type: types[(i % 4) as usize].parse().unwrap(),
-            platform: Platform::LinuxUnix,
-        };
-        let at = SimTime::from_secs(i * 97);
-        let ratio = 0.2 + ((i * 7919) % 1000) as f64 / 100.0;
-        let unavailable = i % 17 == 0;
-        store.record_spike(SpikeEvent {
-            market,
-            at,
-            ratio,
-            probed: true,
-        });
-        store.record_probe(ProbeRecord {
-            at,
-            market,
-            kind: if i % 5 == 0 {
-                ProbeKind::Spot
-            } else {
-                ProbeKind::OnDemand
-            },
-            trigger: ProbeTrigger::PriceSpike { ratio },
-            outcome: if unavailable {
-                if i % 5 == 0 {
-                    ProbeOutcome::CapacityNotAvailable
-                } else {
-                    ProbeOutcome::InsufficientCapacity
-                }
-            } else {
-                ProbeOutcome::Fulfilled
-            },
-            spot_ratio: ratio.min(1.2),
-            bid: None,
-            cost: Price::ZERO,
-        });
-    }
-    store
-}
 
 fn bench_analysis(c: &mut Criterion) {
     let store = synthetic_store(100_000);
     let mut group = c.benchmark_group("analysis_100k_probes");
     group.sample_size(20);
     group.bench_function("spike_unavailability", |b| {
-        b.iter(|| black_box(spike_unavailability(&store, SimDuration::from_secs(900), None)))
+        b.iter(|| {
+            black_box(spike_unavailability(
+                &store,
+                SimDuration::from_secs(900),
+                None,
+            ))
+        })
     });
     group.bench_function("duration_cdf", |b| {
         b.iter(|| black_box(duration_cdf(&store)))

@@ -4,14 +4,13 @@
 //! show up here. The full-scale regeneration lives in the `repro`
 //! binary (`repro all`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cloud_sim::lifecycle::{OdState, SpotRequestState};
 use cloud_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
 use spotlight_bench::small_study;
 use spotlight_core::analysis::{
-    cross_az_unavailability, cross_market_unavailability, duration_cdf,
-    regional_rejection_share, rejection_attribution, spike_unavailability,
-    spot_cna_curve, spot_cna_distribution,
+    cross_az_unavailability, cross_market_unavailability, duration_cdf, regional_rejection_share,
+    rejection_attribution, spike_unavailability, spot_cna_curve, spot_cna_distribution,
 };
 use spotlight_core::probe::ProbeKind;
 use spotlight_core::query::SpotLightQuery;
@@ -40,7 +39,10 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig_3_2_state_machine_dot", |b| {
         b.iter(|| black_box(SpotRequestState::to_dot()))
     });
-    for (name, window) in [("fig_5_4_spike_curve", 900u64), ("fig_5_4_spike_curve_2h", 7200)] {
+    for (name, window) in [
+        ("fig_5_4_spike_curve", 900u64),
+        ("fig_5_4_spike_curve_2h", 7200),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(spike_unavailability(

@@ -1,11 +1,11 @@
 //! SpotLight policy hot paths: a full deployment day and the intrinsic
 //! bid search.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cloud_sim::catalog::Catalog;
 use cloud_sim::config::SimConfig;
 use cloud_sim::engine::Engine;
 use cloud_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use spotlight_bench::testbed_cloud;
 use spotlight_core::bidspread::find_intrinsic_bid;
 use spotlight_core::policy::{PolicyConfig, SpotLightConfig};

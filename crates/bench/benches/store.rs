@@ -1,0 +1,133 @@
+//! Probe-database hot paths: ingest (`record_probe`, which maintains
+//! every secondary index) and the per-market query interface, measured
+//! against naive full-log scans so the index speedup is a number, not a
+//! claim.
+
+use cloud_sim::ids::MarketId;
+use cloud_sim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spotlight_bench::{synthetic_probes, synthetic_store};
+use spotlight_core::probe::ProbeKind;
+use spotlight_core::query::SpotLightQuery;
+use spotlight_core::store::DataStore;
+use std::hint::black_box;
+
+/// The old full-scan availability computation, kept as the measured
+/// baseline for the indexed [`SpotLightQuery::availability`].
+fn scan_availability(store: &DataStore, market: MarketId, kind: ProbeKind) -> (u64, u64, u64) {
+    let mut probes = 0u64;
+    let mut rejections = 0u64;
+    for p in store.probes() {
+        if p.market == market && p.kind == kind && p.outcome.is_informative() {
+            probes += 1;
+            if p.outcome.is_unavailable() {
+                rejections += 1;
+            }
+        }
+    }
+    let unavailable: u64 = store
+        .intervals()
+        .iter()
+        .filter(|i| i.market == market && i.kind == kind)
+        .map(|i| {
+            i.end
+                .unwrap_or(SimTime::from_secs(u64::MAX / 2))
+                .saturating_since(i.start)
+                .as_secs()
+        })
+        .sum();
+    (probes, rejections, unavailable)
+}
+
+/// The old full-scan conditional-unavailability trial loop.
+fn scan_conditional(
+    store: &DataStore,
+    a: MarketId,
+    b: MarketId,
+    window: SimDuration,
+) -> Option<f64> {
+    let b_times: Vec<SimTime> = store
+        .probes()
+        .iter()
+        .filter(|p| p.market == b && p.kind == ProbeKind::OnDemand && p.outcome.is_unavailable())
+        .map(|p| p.at)
+        .collect();
+    let mut trials = 0u64;
+    let mut hits = 0u64;
+    for i in store.intervals() {
+        if i.market != a || i.kind != ProbeKind::OnDemand {
+            continue;
+        }
+        trials += 1;
+        let to = i.start + window;
+        if b_times.iter().any(|&t| t >= i.start && t <= to) {
+            hits += 1;
+        }
+    }
+    (trials > 0).then(|| hits as f64 / trials as f64)
+}
+
+fn bench_record_probe(c: &mut Criterion) {
+    let probes = synthetic_probes(10_000);
+    c.bench_function("store/record_probe_10k", |b| {
+        b.iter_batched(
+            || probes.clone(),
+            |probes| {
+                let mut store = DataStore::new();
+                for p in probes {
+                    black_box(store.record_probe(p));
+                }
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let store = synthetic_store(100_000);
+    let span_end = SimTime::from_secs(100_000 * 97 + 1);
+    let query = SpotLightQuery::new(&store, SimTime::ZERO, span_end);
+    // Sort: probed_markets() iterates a HashMap, whose order changes
+    // per process — the benched (a, b) pair must be stable across runs
+    // for BENCH_PR*.json snapshots to be comparable.
+    let mut markets: Vec<MarketId> = store.probed_markets().collect();
+    markets.sort_by_key(|m| m.to_string());
+    let (a, b) = (markets[0], markets[1]);
+
+    let mut group = c.benchmark_group("store_query_100k");
+    group.bench_function("availability_indexed", |bch| {
+        bch.iter(|| {
+            markets
+                .iter()
+                .map(|&m| query.availability(m, ProbeKind::OnDemand).probes)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("availability_scan_baseline", |bch| {
+        bch.iter(|| {
+            markets
+                .iter()
+                .map(|&m| scan_availability(&store, m, ProbeKind::OnDemand).0)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("conditional_unavailability_indexed", |bch| {
+        bch.iter(|| black_box(query.conditional_unavailability(a, b, SimDuration::from_secs(900))))
+    });
+    group.bench_function("conditional_unavailability_scan_baseline", |bch| {
+        bch.iter(|| black_box(scan_conditional(&store, a, b, SimDuration::from_secs(900))))
+    });
+    group.bench_function("probes_between_1h_window", |bch| {
+        let from = SimTime::from_secs(4_000_000);
+        let to = from + SimDuration::hours(1);
+        bch.iter(|| store.probes_between(a, from, to).count())
+    });
+    group.bench_function("mean_time_to_revocation", |bch| {
+        bch.iter(|| black_box(query.mean_time_to_revocation(a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_probe, bench_queries);
+criterion_main!(benches);

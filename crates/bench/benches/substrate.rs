@@ -1,11 +1,11 @@
 //! Substrate hot paths: demand ticks, auction clearing, and the probe
 //! API round trip.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cloud_sim::catalog::Catalog;
 use cloud_sim::cloud::Cloud;
 use cloud_sim::config::SimConfig;
 use cloud_sim::market::clear;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use spotlight_bench::testbed_cloud;
 use std::hint::black_box;
 
@@ -26,6 +26,52 @@ fn bench_tick(c: &mut Criterion) {
             cloud.tick();
             black_box(cloud.now());
         });
+    });
+    group.finish();
+}
+
+fn bench_tick_components(c: &mut Criterion) {
+    use cloud_sim::config::DemandProfile;
+    use cloud_sim::demand::{surge_weights, LevelGrid, MarketDemand};
+    use cloud_sim::rng::SimRng;
+    use cloud_sim::time::SimTime;
+
+    let profile = DemandProfile::paper_calibration();
+    let grid = LevelGrid::new(&profile);
+    let sw = surge_weights(
+        &profile.level_multiples,
+        0.85,
+        profile.surge_bid_decay,
+        profile.surge_bid_cap_share,
+    );
+    let mut group = c.benchmark_group("tick_component");
+    group.bench_function("market_demand_tick", |b| {
+        let mut demand = MarketDemand::new();
+        let mut rng = SimRng::seed_from(5);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 300;
+            demand.tick(SimTime::from_secs(t), &profile, &mut rng);
+        });
+    });
+    group.bench_function("level_masses_and_clear", |b| {
+        let demand = MarketDemand::new();
+        let mut out = vec![0.0; grid.len()];
+        b.iter(|| {
+            demand.level_masses_into(&grid, 50.0, &sw, &mut out);
+            black_box(clear(&profile.level_multiples, &out, 40.0))
+        });
+    });
+    group.bench_function("clear_markets_only_testbed", |b| {
+        let mut cloud = testbed_cloud(4);
+        b.iter(|| {
+            cloud.bench_clear_markets();
+            black_box(cloud.now());
+        });
+    });
+    group.bench_function("standard_normal", |b| {
+        let mut rng = SimRng::seed_from(6);
+        b.iter(|| black_box(rng.standard_normal()));
     });
     group.finish();
 }
@@ -69,5 +115,11 @@ fn bench_probe_roundtrip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tick, bench_clearing, bench_probe_roundtrip);
+criterion_group!(
+    benches,
+    bench_tick,
+    bench_tick_components,
+    bench_clearing,
+    bench_probe_roundtrip
+);
 criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! * `analysis` — the Chapter 5 analysis kernels on synthetic stores;
 //! * `figures` — one group per paper table/figure, running the
 //!   scaled-down experiment end to end;
+//! * `store` — probe-database ingest and the indexed query paths,
+//!   including scan-oracle comparisons;
 //! * `ablation` — demand-model parameter sweeps (tick cost vs surge
 //!   rates, catalog scale).
 
@@ -14,10 +16,13 @@ use cloud_sim::catalog::Catalog;
 use cloud_sim::cloud::Cloud;
 use cloud_sim::config::SimConfig;
 use cloud_sim::engine::Engine;
+use cloud_sim::ids::{Az, MarketId, Platform, Region};
+use cloud_sim::price::Price;
 use cloud_sim::time::{SimDuration, SimTime};
 use spotlight_core::policy::{PolicyConfig, SpotLightConfig};
+use spotlight_core::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
 use spotlight_core::spotlight::SpotLight;
-use spotlight_core::store::{shared_store, SharedStore};
+use spotlight_core::store::{shared_store, DataStore, SharedStore, SpikeEvent};
 
 /// A warmed-up testbed cloud.
 pub fn testbed_cloud(seed: u64) -> Cloud {
@@ -48,4 +53,70 @@ pub fn small_study(seed: u64, days: u64) -> (Cloud, SharedStore, SimTime, SimTim
     engine.run_until(end);
     let (cloud, _) = engine.into_parts();
     (cloud, store, start, end)
+}
+
+/// Deterministic synthetic probe records over a dozen us-east-1
+/// markets, time-ordered, with a mix of kinds and outcomes.
+/// The spike/trigger price ratio of the `i`-th synthetic record —
+/// shared by [`synthetic_probes`] and [`synthetic_store`] so the spike
+/// log and the probe log cannot drift apart.
+fn synthetic_ratio(i: u64) -> f64 {
+    0.2 + ((i * 7919) % 1000) as f64 / 100.0
+}
+
+pub fn synthetic_probes(n: u64) -> Vec<ProbeRecord> {
+    let types = ["c3.large", "c3.xlarge", "c3.2xlarge", "m3.large"];
+    (0..n)
+        .map(|i| {
+            let market = MarketId {
+                az: Az::new(Region::UsEast1, (i % 3) as u8),
+                instance_type: types[(i % 4) as usize].parse().unwrap(),
+                platform: Platform::LinuxUnix,
+            };
+            let ratio = synthetic_ratio(i);
+            let unavailable = i % 17 == 0;
+            ProbeRecord {
+                at: SimTime::from_secs(i * 97),
+                market,
+                kind: if i % 5 == 0 {
+                    ProbeKind::Spot
+                } else {
+                    ProbeKind::OnDemand
+                },
+                trigger: if i % 5 == 0 {
+                    ProbeTrigger::Periodic
+                } else {
+                    ProbeTrigger::PriceSpike { ratio }
+                },
+                outcome: if unavailable {
+                    if i % 5 == 0 {
+                        ProbeOutcome::CapacityNotAvailable
+                    } else {
+                        ProbeOutcome::InsufficientCapacity
+                    }
+                } else {
+                    ProbeOutcome::Fulfilled
+                },
+                spot_ratio: ratio.min(1.2),
+                bid: None,
+                cost: Price::ZERO,
+            }
+        })
+        .collect()
+}
+
+/// Builds a deterministic synthetic store with `n` probes and spikes —
+/// the shared input of the analysis and store benches.
+pub fn synthetic_store(n: u64) -> DataStore {
+    let mut store = DataStore::new();
+    for (i, p) in synthetic_probes(n).into_iter().enumerate() {
+        store.record_spike(SpikeEvent {
+            market: p.market,
+            at: p.at,
+            ratio: synthetic_ratio(i as u64),
+            probed: true,
+        });
+        store.record_probe(p);
+    }
+    store
 }

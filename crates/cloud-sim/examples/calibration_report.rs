@@ -66,8 +66,10 @@ fn main() {
         elapsed.as_secs_f64(),
         days as f64 / elapsed.as_secs_f64()
     );
-    println!("price changes: {price_changes} ({:.1}/market/day)",
-        price_changes as f64 / cloud.market_count() as f64 / days as f64);
+    println!(
+        "price changes: {price_changes} ({:.1}/market/day)",
+        price_changes as f64 / cloud.market_count() as f64 / days as f64
+    );
     println!("spike (>=1x) events: {spike_events}, max ratio {max_ratio:.1}");
     println!("spikes by floor(ratio): {ratio_buckets:?}");
 

@@ -543,9 +543,7 @@ mod tests {
     fn low_bid_is_price_too_low_and_cancellable() {
         let mut c = quiet_cloud(6);
         let m = a_market(&c);
-        let sub = c
-            .request_spot_instance(m, Price::from_micros(1))
-            .unwrap();
+        let sub = c.request_spot_instance(m, Price::from_micros(1)).unwrap();
         assert_eq!(sub.status, SpotRequestState::PriceTooLow);
         c.cancel_spot_request(sub.id).unwrap();
         // Cancelled requests are garbage-collected after the next tick.
@@ -574,9 +572,7 @@ mod tests {
         let mut ids = Vec::new();
         for _ in 0..limit {
             // Held (price-too-low) requests count against the limit.
-            let sub = c
-                .request_spot_instance(m, Price::from_micros(1))
-                .unwrap();
+            let sub = c.request_spot_instance(m, Price::from_micros(1)).unwrap();
             ids.push(sub.id);
         }
         let err = c

@@ -174,7 +174,10 @@ impl Catalog {
             b.region_multiplier(region, mult);
         }
         for &(family, size, dollars) in BASE_PRICES {
-            b.instance_type(InstanceType::new(family, size), Price::from_dollars(dollars));
+            b.instance_type(
+                InstanceType::new(family, size),
+                Price::from_dollars(dollars),
+            );
         }
         for &(region, families) in REGION_EXCLUSIONS {
             for &f in families {
@@ -210,7 +213,10 @@ impl Catalog {
 
     /// The zones of one region.
     pub fn azs_in(&self, region: Region) -> impl Iterator<Item = Az> + '_ {
-        self.azs.iter().copied().filter(move |az| az.region() == region)
+        self.azs
+            .iter()
+            .copied()
+            .filter(move |az| az.region() == region)
     }
 
     /// The regions present in this catalog, in canonical order.
@@ -411,9 +417,18 @@ impl CatalogBuilder {
     ///
     /// Panics if no region, no instance type, or no platform was added.
     pub fn build(&self) -> Catalog {
-        assert!(!self.az_counts.is_empty(), "catalog needs at least one region");
-        assert!(!self.types.is_empty(), "catalog needs at least one instance type");
-        assert!(!self.platforms.is_empty(), "catalog needs at least one platform");
+        assert!(
+            !self.az_counts.is_empty(),
+            "catalog needs at least one region"
+        );
+        assert!(
+            !self.types.is_empty(),
+            "catalog needs at least one instance type"
+        );
+        assert!(
+            !self.platforms.is_empty(),
+            "catalog needs at least one platform"
+        );
 
         let mut azs = Vec::new();
         for region in Region::ALL {

@@ -6,11 +6,33 @@
 //! methods in [`crate::api`]; the engine (or any driver) calls
 //! [`Cloud::tick`] to advance time one demand step and then drains
 //! [`Cloud::take_events`] for what happened.
+//!
+//! # The no-allocation tick contract
+//!
+//! `Cloud::tick` is the simulator's hot path: the repro experiments run
+//! it millions of times, so the steady-state tick performs **no heap
+//! allocation**. Concretely:
+//!
+//! * the demand profile and per-pool market indices are only *borrowed*
+//!   during a tick — never cloned (the borrow checker permits this
+//!   because each phase touches disjoint `Cloud` fields);
+//! * static topology (pools per region, sibling pools, market indices)
+//!   is precomputed once in [`Cloud::new`];
+//! * per-tick working sets reuse scratch buffers owned by `Cloud`
+//!   (`scratch` for bid-level masses, `request_scratch` for the active
+//!   spot-request sweep).
+//!
+//! `events` and the per-request bookkeeping may still allocate when
+//! *new* work appears (an event is emitted, a request is admitted) —
+//! amortized by `Vec` growth — but a quiescent tick allocates nothing.
+//! Keep it that way: anything added to the tick path should either
+//! borrow or reuse a scratch buffer, and `benches/substrate.rs` guards
+//! the budget.
 
 use crate::billing::{Ledger, UsageKind};
 use crate::catalog::Catalog;
 use crate::config::SimConfig;
-use crate::demand::{surge_weights, MarketDemand, PoolDemand, RegionDemand, Surge};
+use crate::demand::{surge_weights, LevelGrid, MarketDemand, PoolDemand, RegionDemand, Surge};
 use crate::ids::{Family, InstanceId, MarketId, PoolId, Region, SpotRequestId};
 use crate::lifecycle::{OdState, SpotRequestState, Tracked};
 use crate::market::{clear, MarketState};
@@ -195,6 +217,12 @@ pub struct Cloud {
     pub(crate) market_index: HashMap<MarketId, usize>,
     /// Pools of the same family in the same region, per pool.
     pub(crate) sibling_pools: Vec<Vec<usize>>,
+    /// Pool indices per region (indexed by [`Region::index`]), so surge
+    /// spawning never rebuilds candidate lists on the tick path.
+    region_pools: Vec<Vec<usize>>,
+    /// Indices of regions with at least one pool; region-level demand
+    /// and surge draws skip absent regions entirely.
+    active_regions: Vec<usize>,
     pub(crate) region_demand: Vec<RegionDemand>,
     pub(crate) od_instances: HashMap<InstanceId, OdInstance>,
     pub(crate) spot_requests: HashMap<SpotRequestId, SpotRequest>,
@@ -207,7 +235,12 @@ pub struct Cloud {
     pub(crate) next_id: u64,
     pub(crate) events: Vec<CloudEvent>,
     surge_dist: Vec<f64>,
+    /// Precomputed normalized level profile and tilt basis.
+    level_grid: LevelGrid,
+    /// Reusable bid-level mass buffer for market clearing.
     scratch: Vec<f64>,
+    /// Reusable request-id buffer for the per-tick spot-request sweep.
+    request_scratch: Vec<SpotRequestId>,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -241,11 +274,10 @@ impl Cloud {
         for (i, &pid) in catalog.pools().iter().enumerate() {
             pool_index.insert(pid, i);
             let member_units = catalog.pool_member_units(pid) as f64;
-            let physical = (profile.pool_scale
-                * member_units
-                * profile.family_pool_scale(pid.family))
-            .round()
-            .max(8.0) as u64;
+            let physical =
+                (profile.pool_scale * member_units * profile.family_pool_scale(pid.family))
+                    .round()
+                    .max(8.0) as u64;
             let granted = (profile.reserved_fraction * physical as f64).round() as u64;
             let pressure = profile.pool_pressure(pid);
             let demand = PoolDemand::new(
@@ -293,8 +325,8 @@ impl Cloud {
                 - (profile.od_base_util * pressure).min(1.0) * od_cap)
                 .max(0.05 * physical);
             let units = mid.instance_type.units();
-            let base_mass = (expected_supply * weight / units as f64)
-                * profile.spot_demand_intensity;
+            let base_mass =
+                (expected_supply * weight / units as f64) * profile.spot_demand_intensity;
             let state = MarketState::new(
                 catalog.od_price(mid),
                 weight,
@@ -333,6 +365,12 @@ impl Cloud {
             })
             .collect();
 
+        let mut region_pools: Vec<Vec<usize>> = vec![Vec::new(); 9];
+        for (i, p) in pools.iter().enumerate() {
+            region_pools[p.id.az.region().index()].push(i);
+        }
+        let active_regions: Vec<usize> = (0..9).filter(|&r| !region_pools[r].is_empty()).collect();
+
         let surge_dist = surge_weights(
             &profile.level_multiples,
             0.85,
@@ -340,6 +378,7 @@ impl Cloud {
             profile.surge_bid_cap_share,
         );
         let n_levels = profile.level_multiples.len();
+        let level_grid = LevelGrid::new(profile);
         let trace = TraceStore::new(config.record_all_prices);
         let region_demand = vec![RegionDemand::new(); 9];
         let region_api = (0..9).map(|_| RegionApiState::new()).collect();
@@ -354,6 +393,8 @@ impl Cloud {
             pool_index,
             market_index,
             sibling_pools,
+            region_pools,
+            active_regions,
             region_demand,
             od_instances: HashMap::new(),
             spot_requests: HashMap::new(),
@@ -365,7 +406,9 @@ impl Cloud {
             next_id: 1,
             events: Vec::new(),
             surge_dist,
+            level_grid,
             scratch: vec![0.0; n_levels],
+            request_scratch: Vec::new(),
         }
     }
 
@@ -490,6 +533,15 @@ impl Cloud {
         self.gc_terminal_requests();
     }
 
+    /// Benchmark hook: one market-clearing pass at the current time,
+    /// without advancing demand or request processing. Exists so the
+    /// substrate bench can isolate the clearing cost; not part of the
+    /// simulation API.
+    #[doc(hidden)]
+    pub fn bench_clear_markets(&mut self) {
+        self.clear_markets(self.now);
+    }
+
     fn publish_due_prices(&mut self, now: SimTime) {
         for m in &mut self.markets {
             let previous = m.state.published_price();
@@ -507,13 +559,19 @@ impl Cloud {
     }
 
     fn update_region_demand(&mut self) {
-        for rd in &mut self.region_demand {
-            rd.tick(&self.config.demand, &mut self.rng);
+        // Only regions the catalog actually offers get a demand process;
+        // absent regions would burn a normal draw per tick for state
+        // nobody reads.
+        for &r in &self.active_regions {
+            self.region_demand[r].tick(&self.config.demand, &mut self.rng);
         }
     }
 
     fn update_pools(&mut self, now: SimTime) {
-        let profile = self.config.demand.clone();
+        // Borrow the profile rather than cloning it: the loop only
+        // touches `pools`, `region_demand`, `sibling_pools`, `trace`,
+        // `events`, and `rng` — all fields disjoint from `config`.
+        let profile = &self.config.demand;
         let warning = self.config.revocation_warning;
         for i in 0..self.pools.len() {
             // Apply spill-in scheduled by siblings last tick.
@@ -523,7 +581,7 @@ impl Cloud {
 
             let region = self.pools[i].id.az.region();
             let busy = self.region_demand[region.index()].busy();
-            let targets = self.pools[i].demand.tick(now, &profile, busy, &mut self.rng);
+            let targets = self.pools[i].demand.tick(now, profile, busy, &mut self.rng);
 
             // Parking: a persistent capacity-withholding state the
             // operator enters during low-price regimes (§5.3) and leaves
@@ -587,10 +645,10 @@ impl Cloud {
             }
             if short {
                 let unmet = self.pools[i].pool.od_unmet() as f64;
-                let siblings = self.sibling_pools[i].clone();
+                let siblings = &self.sibling_pools[i];
                 if !siblings.is_empty() {
                     let share = profile.spill_fraction * unmet / siblings.len() as f64;
-                    for j in siblings {
+                    for &j in siblings {
                         self.pools[j].spill_next += share;
                     }
                 }
@@ -599,7 +657,11 @@ impl Cloud {
     }
 
     fn clear_markets(&mut self, now: SimTime) {
-        let profile = self.config.demand.clone();
+        // Like `update_pools`, this borrows the profile and each pool's
+        // market-index list in place: `pools` is only read while
+        // `markets`, `rng`, and `scratch` are written, so nothing needs
+        // to be cloned per tick.
+        let profile = &self.config.demand;
         let (lag_lo, lag_hi) = self.config.price_lag_secs;
         let multiples = &profile.level_multiples;
 
@@ -607,19 +669,24 @@ impl Cloud {
             let supply_units = self.pools[pi].pool.spot_supply() as f64;
             let mut served_units_total = 0.0_f64;
             let mut ratio_sum = 0.0_f64;
-            let indices = self.pools[pi].market_indices.clone();
-            for &mi in &indices {
+            let n_markets = self.pools[pi].market_indices.len();
+            for k in 0..n_markets {
+                let mi = self.pools[pi].market_indices[k];
                 let m = &mut self.markets[mi];
-                m.demand.tick(now, &profile, &mut self.rng);
-                m.demand.level_masses(
-                    &profile,
+                m.demand.tick(now, profile, &mut self.rng);
+                m.demand.level_masses_into(
+                    &self.level_grid,
                     m.state.base_mass,
                     &self.surge_dist,
                     &mut self.scratch,
                 );
                 let supply_m = supply_units * m.state.weight / m.state.units as f64;
                 let clearing = clear(multiples, &self.scratch, supply_m);
-                let lag = if lag_hi > lag_lo {
+                // Draw a propagation lag only when the price actually
+                // moves; stable markets skip the randomness entirely.
+                let price_moves =
+                    m.state.od_price.scale(clearing.price_multiple) != m.state.true_price();
+                let lag = if price_moves && lag_hi > lag_lo {
                     self.rng.uniform_range(lag_lo as f64, lag_hi as f64) as u64
                 } else {
                     lag_lo
@@ -635,14 +702,14 @@ impl Cloud {
             self.pools[pi]
                 .pool
                 .set_spot_market(served_units_total.min(cap_units).round().max(0.0) as u64);
-            if !indices.is_empty() {
-                self.pools[pi].last_ratio = ratio_sum / indices.len() as f64;
+            if n_markets > 0 {
+                self.pools[pi].last_ratio = ratio_sum / n_markets as f64;
             }
         }
     }
 
     fn spawn_surges(&mut self, now: SimTime, dt: SimDuration) {
-        let profile = self.config.demand.clone();
+        let profile = &self.config.demand;
         let dt_days = dt.as_secs() as f64 / 86_400.0;
 
         // Zone-local pool surges: rare, heavy-tailed, uncorrelated.
@@ -661,10 +728,10 @@ impl Cloud {
                 // Specialized families suffer longer shortages (the
                 // heavy Figure 5.9 tail and the chronic d2/g2 outages of
                 // the case studies).
-                let duration = (self
-                    .rng
-                    .lognormal_median(profile.surge_duration_median_secs, profile.surge_duration_sigma)
-                    * vol)
+                let duration = (self.rng.lognormal_median(
+                    profile.surge_duration_median_secs,
+                    profile.surge_duration_sigma,
+                ) * vol)
                     .max(60.0) as u64;
                 self.pools[i].demand.add_surge(Surge {
                     magnitude,
@@ -674,20 +741,16 @@ impl Cloud {
         }
 
         // Region-wide family surges: moderate, correlated across zones.
-        for region in Region::ALL {
-            let pressure = profile.region_pressure[region.index()];
+        for &ri in &self.active_regions {
+            let pressure = profile.region_pressure[ri];
             let rate =
                 profile.region_surge_rate_per_day * pressure.powf(profile.surge_rate_pressure_exp);
             if !self.rng.chance(rate * dt_days) {
                 continue;
             }
-            // Pick a family actually offered in this region.
-            let candidates: Vec<usize> = (0..self.pools.len())
-                .filter(|&i| self.pools[i].id.az.region() == region)
-                .collect();
-            if candidates.is_empty() {
-                continue;
-            }
+            // Pick a family actually offered in this region, using the
+            // region→pool index built at construction.
+            let candidates = &self.region_pools[ri];
             let anchor = candidates[self.rng.uniform_usize(0, candidates.len())];
             let family = self.pools[anchor].id.family;
             let base_mag = (self
@@ -698,9 +761,12 @@ impl Cloud {
             .min(profile.surge_magnitude_cap);
             let duration = self
                 .rng
-                .lognormal_median(profile.surge_duration_median_secs, profile.surge_duration_sigma)
+                .lognormal_median(
+                    profile.surge_duration_median_secs,
+                    profile.surge_duration_sigma,
+                )
                 .max(60.0) as u64;
-            for &i in &candidates {
+            for &i in candidates {
                 if self.pools[i].id.family != family {
                     continue;
                 }
@@ -725,7 +791,10 @@ impl Cloud {
                 .min(profile.spot_surge_cap);
                 let duration = self
                     .rng
-                    .lognormal_median(profile.surge_duration_median_secs, profile.surge_duration_sigma)
+                    .lognormal_median(
+                        profile.surge_duration_median_secs,
+                        profile.surge_duration_sigma,
+                    )
                     .max(60.0) as u64;
                 self.markets[mi].demand.add_surge(Surge {
                     magnitude,
@@ -738,18 +807,24 @@ impl Cloud {
     /// Revocations, reclaim terminations, and held-request re-evaluation.
     fn process_spot_requests(&mut self, now: SimTime) {
         let warning = self.config.revocation_warning;
-        let ids: Vec<SpotRequestId> = self.active_spot.iter().copied().collect();
-        for id in ids {
+        // Reuse the sweep buffer instead of collecting a fresh Vec, and
+        // read everything a dispatch decision needs in ONE map lookup.
+        let mut ids = std::mem::take(&mut self.request_scratch);
+        ids.clear();
+        ids.extend(self.active_spot.iter().copied());
+        for &id in &ids {
             let Some(req) = self.spot_requests.get(&id) else {
                 continue;
             };
             let market = req.market;
-            let mi = self.market_index[&market];
+            let bid = req.bid;
+            let terminate_due = req.terminate_at.is_some_and(|t| t <= now);
             let state = req.state.current();
             match state {
                 SpotRequestState::Fulfilled => {
+                    let mi = self.market_index[&market];
                     let price = self.markets[mi].state.true_price();
-                    if price > req.bid {
+                    if price > bid {
                         let terminate_at = now + warning;
                         let req = self.spot_requests.get_mut(&id).expect("present");
                         req.state
@@ -764,13 +839,8 @@ impl Cloud {
                         });
                     }
                 }
-                SpotRequestState::MarkedForTermination => {
-                    let due = self.spot_requests[&id]
-                        .terminate_at
-                        .is_some_and(|t| t <= now);
-                    if due {
-                        self.finish_revocation(id, now);
-                    }
+                SpotRequestState::MarkedForTermination if terminate_due => {
+                    self.finish_revocation(id, now);
                 }
                 s if s.is_held() => {
                     self.reevaluate_held(id, now);
@@ -778,6 +848,7 @@ impl Cloud {
                 _ => {}
             }
         }
+        self.request_scratch = ids;
     }
 
     /// Completes a price revocation: frees capacity, bills (partial hour
@@ -790,7 +861,9 @@ impl Cloud {
         let market = req.market;
         let units = u64::from(req.units);
         let launched = req.launched_at.expect("fulfilled request has launch time");
-        let rate = req.launch_price.expect("fulfilled request has launch price");
+        let rate = req
+            .launch_price
+            .expect("fulfilled request has launch price");
         let pi = self.pool_index[&market.pool()];
         self.pools[pi].pool.release_spot_external(units);
         self.ledger.charge(
@@ -800,8 +873,10 @@ impl Cloud {
             now.saturating_since(launched),
             rate,
         );
-        self.region_api[market.region().index()].spot_open =
-            self.region_api[market.region().index()].spot_open.saturating_sub(1);
+        self.region_api[market.region().index()].spot_open = self.region_api
+            [market.region().index()]
+        .spot_open
+        .saturating_sub(1);
         self.events.push(CloudEvent::SpotTerminatedByPrice {
             request: id,
             market,
@@ -811,9 +886,9 @@ impl Cloud {
 
     /// Re-evaluates a held spot request against current conditions.
     fn reevaluate_held(&mut self, id: SpotRequestId, now: SimTime) {
-        let (market, bid, units) = {
+        let (market, bid, units, old_state) = {
             let r = &self.spot_requests[&id];
-            (r.market, r.bid, r.units)
+            (r.market, r.bid, r.units, r.state.current())
         };
         let outcome = self.evaluate_spot(market, bid, units);
         let new_state = match outcome {
@@ -822,7 +897,6 @@ impl Cloud {
             SpotEval::Oversubscribed => SpotRequestState::CapacityOversubscribed,
             SpotEval::NotAvailable => SpotRequestState::CapacityNotAvailable,
         };
-        let old_state = self.spot_requests[&id].state.current();
         if new_state == old_state {
             return;
         }
@@ -874,9 +948,7 @@ impl Cloud {
     pub(crate) fn evaluate_spot(&self, market: MarketId, bid: Price, units: u32) -> SpotEval {
         let mi = self.market_index[&market];
         let m = &self.markets[mi];
-        let floor = m
-            .state
-            .floor_price(self.config.demand.level_multiples[0]);
+        let floor = m.state.floor_price(self.config.demand.level_multiples[0]);
         let price = m.state.true_price();
         if bid < price.max(floor) {
             return SpotEval::PriceTooLow;
@@ -898,8 +970,7 @@ impl Cloud {
         } else {
             // bid > price: the request can displace the marginal winner
             // unless the market cleared at the floor (no marginal loser).
-            let displaceable =
-                pool.spot_market_units() >= units && !m.state.last_clearing.at_floor;
+            let displaceable = pool.spot_market_units() >= units && !m.state.last_clearing.at_floor;
             if room || displaceable {
                 SpotEval::Fulfill
             } else {
@@ -911,20 +982,18 @@ impl Cloud {
     /// Drops terminal spot requests (their final state was already
     /// returned to the caller and emitted as events).
     fn gc_terminal_requests(&mut self) {
-        let terminal: Vec<SpotRequestId> = self
-            .active_spot
-            .iter()
-            .copied()
-            .filter(|id| {
-                self.spot_requests
-                    .get(id)
-                    .is_none_or(|r| r.state.current().is_terminal())
-            })
-            .collect();
-        for id in terminal {
+        let mut terminal = std::mem::take(&mut self.request_scratch);
+        terminal.clear();
+        terminal.extend(self.active_spot.iter().copied().filter(|id| {
+            self.spot_requests
+                .get(id)
+                .is_none_or(|r| r.state.current().is_terminal())
+        }));
+        for &id in &terminal {
             self.active_spot.remove(&id);
             self.spot_requests.remove(&id);
         }
+        self.request_scratch = terminal;
     }
 }
 
@@ -1020,7 +1089,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_change, "expected at least one price change in 300 ticks");
+        assert!(
+            saw_change,
+            "expected at least one price change in 300 ticks"
+        );
     }
 
     #[test]

@@ -199,12 +199,11 @@ impl DemandProfile {
             spill_fraction: 0.08,
 
             level_multiples: vec![
-                0.08, 0.12, 0.18, 0.25, 0.35, 0.50, 0.70, 0.85, 1.00, 1.30, 1.80, 2.50,
-                4.00, 6.00, 10.0,
+                0.08, 0.12, 0.18, 0.25, 0.35, 0.50, 0.70, 0.85, 1.00, 1.30, 1.80, 2.50, 4.00, 6.00,
+                10.0,
             ],
             level_profile: vec![
-                2.4, 2.6, 2.4, 2.0, 1.5, 1.1, 0.7, 0.45, 1.30, 0.18, 0.10, 0.06, 0.04,
-                0.025, 0.015,
+                2.4, 2.6, 2.4, 2.0, 1.5, 1.1, 0.7, 0.45, 1.30, 0.18, 0.10, 0.06, 0.04, 0.025, 0.015,
             ],
             spot_demand_intensity: 1.18,
             spot_headroom_frac: 0.06,
@@ -281,9 +280,7 @@ impl DemandProfile {
         let hot = self
             .hot_pools
             .iter()
-            .find(|&&(r, z, f, _)| {
-                r == region && z == pool.az.zone_index() && f == pool.family
-            })
+            .find(|&&(r, z, f, _)| r == region && z == pool.az.zone_index() && f == pool.family)
             .map(|&(_, _, _, mult)| mult);
         base * hot.unwrap_or(1.0)
     }
@@ -519,12 +516,8 @@ mod tests {
         let p = DemandProfile::paper_calibration();
         use crate::ids::Region::*;
         assert!(p.region_pressure[SaEast1.index()] > p.region_pressure[UsEast1.index()]);
-        assert!(
-            p.region_pressure[ApSoutheast1.index()] > p.region_pressure[UsEast1.index()]
-        );
-        assert!(
-            p.region_pressure[ApSoutheast2.index()] > p.region_pressure[UsEast1.index()]
-        );
+        assert!(p.region_pressure[ApSoutheast1.index()] > p.region_pressure[UsEast1.index()]);
+        assert!(p.region_pressure[ApSoutheast2.index()] > p.region_pressure[UsEast1.index()]);
     }
 
     #[test]

@@ -164,8 +164,7 @@ impl PoolDemand {
             profile.od_diurnal_amplitude,
             profile.od_weekly_amplitude,
         );
-        let od_mean =
-            profile.od_base_util * self.pressure * self.od_cap * season * region_busy;
+        let od_mean = profile.od_base_util * self.pressure * self.od_cap * season * region_busy;
         self.od_level += profile.od_reversion * (od_mean - self.od_level)
             + profile.od_noise * self.od_cap * rng.standard_normal();
         self.od_level = self.od_level.clamp(0.0, 2.5 * self.od_cap);
@@ -191,6 +190,47 @@ impl PoolDemand {
             reserved_units: self.reserved_level.round() as u64,
             od_units: od_target.round() as u64,
         }
+    }
+}
+
+/// Precomputed bid-level constants shared by every market: the
+/// normalized level profile and the tilt basis. Building this once per
+/// cloud removes a divide-heavy inner loop from the per-market clearing
+/// path ([`MarketDemand::level_masses_into`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelGrid {
+    /// `level_profile[i] / Σ level_profile`.
+    norm_profile: Vec<f64>,
+    /// `(i − center) / center` per level, the linear tilt basis.
+    tilt_basis: Vec<f64>,
+}
+
+impl LevelGrid {
+    /// Precomputes the grid for a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has fewer than two levels (validated
+    /// profiles always have at least three).
+    pub fn new(profile: &DemandProfile) -> Self {
+        let n = profile.level_profile.len();
+        assert!(n >= 2, "need at least two bid levels");
+        let sum: f64 = profile.level_profile.iter().sum();
+        let center = (n as f64 - 1.0) / 2.0;
+        LevelGrid {
+            norm_profile: profile.level_profile.iter().map(|&p| p / sum).collect(),
+            tilt_basis: (0..n).map(|i| (i as f64 - center) / center).collect(),
+        }
+    }
+
+    /// Number of bid levels.
+    pub fn len(&self) -> usize {
+        self.norm_profile.len()
+    }
+
+    /// True when the grid has no levels (never, for validated profiles).
+    pub fn is_empty(&self) -> bool {
+        self.norm_profile.is_empty()
     }
 }
 
@@ -249,20 +289,31 @@ impl MarketDemand {
         surge_weights: &[f64],
         out: &mut [f64],
     ) {
-        let n = profile.level_profile.len();
+        self.level_masses_into(&LevelGrid::new(profile), base_mass, surge_weights, out);
+    }
+
+    /// [`MarketDemand::level_masses`] over a precomputed [`LevelGrid`] —
+    /// the form the tick loop uses, with no per-call normalization work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the grid.
+    pub fn level_masses_into(
+        &self,
+        grid: &LevelGrid,
+        base_mass: f64,
+        surge_weights: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = grid.len();
         assert_eq!(out.len(), n, "output slice length mismatch");
         assert_eq!(surge_weights.len(), n, "surge weight length mismatch");
-        let profile_sum: f64 = profile.level_profile.iter().sum();
-        let center = (n as f64 - 1.0) / 2.0;
+        let scaled_base = base_mass * self.scale;
         let surge_mass = self.surge_level() * base_mass;
         for i in 0..n {
-            let tilt_factor =
-                (1.0 + self.tilt * (i as f64 - center) / center).max(0.05);
-            out[i] = profile.level_profile[i] / profile_sum
-                * base_mass
-                * self.scale
-                * tilt_factor
-                + surge_mass * surge_weights[i];
+            let tilt_factor = (1.0 + self.tilt * grid.tilt_basis[i]).max(0.05);
+            out[i] =
+                grid.norm_profile[i] * scaled_base * tilt_factor + surge_mass * surge_weights[i];
         }
     }
 }
@@ -285,7 +336,13 @@ pub fn surge_weights(
 ) -> Vec<f64> {
     let raw: Vec<f64> = level_multiples
         .iter()
-        .map(|&m| if m >= from_multiple { (-m / decay).exp() } else { 0.0 })
+        .map(|&m| {
+            if m >= from_multiple {
+                (-m / decay).exp()
+            } else {
+                0.0
+            }
+        })
         .collect();
     let sum: f64 = raw.iter().sum();
     let n = level_multiples.len();
@@ -320,12 +377,7 @@ mod tests {
         let mut sum = 0.0;
         let n = 24 * 7;
         for h in 0..n {
-            sum += seasonal_factor(
-                SimTime::from_secs(h * 3600),
-                0.0,
-                0.1,
-                0.05,
-            );
+            sum += seasonal_factor(SimTime::from_secs(h * 3600), 0.0, 0.1, 0.05);
         }
         assert!((sum / n as f64 - 1.0).abs() < 0.02);
     }
@@ -387,7 +439,12 @@ mod tests {
         let p = profile();
         let md = MarketDemand::new();
         let n = p.level_profile.len();
-        let sw = surge_weights(&p.level_multiples, 0.85, p.surge_bid_decay, p.surge_bid_cap_share);
+        let sw = surge_weights(
+            &p.level_multiples,
+            0.85,
+            p.surge_bid_decay,
+            p.surge_bid_cap_share,
+        );
         let mut out = vec![0.0; n];
         md.level_masses(&p, 50.0, &sw, &mut out);
         let total: f64 = out.iter().sum();
@@ -399,7 +456,12 @@ mod tests {
         let p = profile();
         let mut md = MarketDemand::new();
         let n = p.level_profile.len();
-        let sw = surge_weights(&p.level_multiples, 0.85, p.surge_bid_decay, p.surge_bid_cap_share);
+        let sw = surge_weights(
+            &p.level_multiples,
+            0.85,
+            p.surge_bid_decay,
+            p.surge_bid_cap_share,
+        );
         let mut base = vec![0.0; n];
         md.level_masses(&p, 50.0, &sw, &mut base);
         md.add_surge(Surge {
@@ -432,7 +494,12 @@ mod tests {
     #[test]
     fn surge_weights_sum_to_one_on_high_levels() {
         let p = profile();
-        let w = surge_weights(&p.level_multiples, 0.85, p.surge_bid_decay, p.surge_bid_cap_share);
+        let w = surge_weights(
+            &p.level_multiples,
+            0.85,
+            p.surge_bid_decay,
+            p.surge_bid_cap_share,
+        );
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         for (i, &m) in p.level_multiples.iter().enumerate() {
             if m < 0.85 {

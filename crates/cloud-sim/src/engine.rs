@@ -330,10 +330,7 @@ mod tests {
         assert!(rec.finished);
         assert_eq!(
             rec.wakes,
-            vec![
-                (SimTime::from_secs(450), 7),
-                (SimTime::from_secs(1000), 8)
-            ]
+            vec![(SimTime::from_secs(450), 7), (SimTime::from_secs(1000), 8)]
         );
     }
 

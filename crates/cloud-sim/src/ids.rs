@@ -52,9 +52,7 @@ impl std::error::Error for ParseIdError {}
 ///
 /// The nine regions match EC2's footprint at the time of the SpotLight
 /// study (Chapter 1 of the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Region {
     /// N. Virginia — EC2's largest and best-provisioned region.
     UsEast1,
@@ -139,9 +137,7 @@ impl FromStr for Region {
 }
 
 /// An availability zone: a region plus a zone letter (`a`, `b`, …).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Az {
     region: Region,
     index: u8,
@@ -203,9 +199,7 @@ impl FromStr for Az {
 ///
 /// The paper defines a family as "server types with the same prefix"
 /// (§3.2.1) and assumes members of a family share one physical pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Family {
     /// Burstable previous generation.
     T1,
@@ -294,7 +288,10 @@ impl Family {
 
     /// A dense index usable for array-backed per-family state.
     pub fn index(self) -> usize {
-        Family::ALL.iter().position(|f| *f == self).expect("family in ALL")
+        Family::ALL
+            .iter()
+            .position(|f| *f == self)
+            .expect("family in ALL")
     }
 }
 
@@ -320,9 +317,7 @@ impl FromStr for Family {
 /// Sizes within a family differ by powers of two in capacity (§3.2.1),
 /// which is what makes bin-packing them onto one physical pool simple and
 /// what [`Size::units`] encodes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Size {
     /// `.micro`
     Micro,
@@ -407,9 +402,7 @@ impl FromStr for Size {
 }
 
 /// An instance type: a family plus a size, e.g. `c3.2xlarge`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceType {
     family: Family,
     size: Size,
@@ -452,8 +445,10 @@ impl FromStr for InstanceType {
             .split_once('.')
             .ok_or_else(|| ParseIdError::new("instance type", s))?;
         Ok(InstanceType::new(
-            fam.parse().map_err(|_| ParseIdError::new("instance type", s))?,
-            size.parse().map_err(|_| ParseIdError::new("instance type", s))?,
+            fam.parse()
+                .map_err(|_| ParseIdError::new("instance type", s))?,
+            size.parse()
+                .map_err(|_| ParseIdError::new("instance type", s))?,
         ))
     }
 }
@@ -463,9 +458,7 @@ impl FromStr for InstanceType {
 /// Each platform of each instance type in each availability zone is a
 /// distinct spot market with its own price (Chapter 2), but all platforms
 /// share the same physical pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Platform {
     /// `Linux/UNIX` (EC2-Classic).
     LinuxUnix,
@@ -498,7 +491,10 @@ impl Platform {
 
     /// A dense index usable for array-backed per-platform state.
     pub fn index(self) -> usize {
-        Platform::ALL.iter().position(|p| *p == self).expect("platform in ALL")
+        Platform::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("platform in ALL")
     }
 
     /// The multiplicative markup over the base (Linux/UNIX) on-demand
@@ -520,9 +516,7 @@ impl fmt::Display for Platform {
 }
 
 /// A capacity pool identifier: one physical pool per family per zone.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PoolId {
     /// The availability zone hosting the pool.
     pub az: Az,
@@ -538,9 +532,7 @@ impl fmt::Display for PoolId {
 
 /// A market identifier: one spot (and on-demand) market per availability
 /// zone × instance type × platform, the unit SpotLight monitors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MarketId {
     /// The availability zone.
     pub az: Az,
@@ -585,9 +577,7 @@ impl fmt::Display for MarketId {
 }
 
 /// Unique identifier of a launched instance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceId(pub u64);
 
 impl fmt::Display for InstanceId {
@@ -597,9 +587,7 @@ impl fmt::Display for InstanceId {
 }
 
 /// Unique identifier of a spot instance request.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SpotRequestId(pub u64);
 
 impl fmt::Display for SpotRequestId {

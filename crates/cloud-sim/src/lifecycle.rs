@@ -55,7 +55,9 @@ impl OdState {
         use OdState::*;
         matches!(
             (self, next),
-            (Pending, Running) | (Pending, Denied) | (Running, ShuttingDown)
+            (Pending, Running)
+                | (Pending, Denied)
+                | (Running, ShuttingDown)
                 | (ShuttingDown, Terminated)
         )
     }
@@ -213,9 +215,7 @@ impl SpotRequestState {
             )
         };
         match self {
-            PendingEvaluation => {
-                held_outcomes(next) || matches!(next, BadParameters | SystemError)
-            }
+            PendingEvaluation => held_outcomes(next) || matches!(next, BadParameters | SystemError),
             // Held requests are re-evaluated as conditions change and can
             // move between the holding statuses, be cancelled, or be
             // fulfilled.
@@ -224,15 +224,16 @@ impl SpotRequestState {
             }
             Fulfilled => matches!(
                 next,
-                MarkedForTermination
-                    | InstanceTerminatedByUser
-                    | RequestCanceledAndInstanceRunning
+                MarkedForTermination | InstanceTerminatedByUser | RequestCanceledAndInstanceRunning
             ),
             MarkedForTermination => {
                 matches!(next, InstanceTerminatedByPrice | InstanceTerminatedByUser)
             }
-            BadParameters | SystemError | CanceledBeforeFulfillment
-            | RequestCanceledAndInstanceRunning | InstanceTerminatedByPrice
+            BadParameters
+            | SystemError
+            | CanceledBeforeFulfillment
+            | RequestCanceledAndInstanceRunning
+            | InstanceTerminatedByPrice
             | InstanceTerminatedByUser => false,
         }
     }
@@ -251,7 +252,11 @@ impl SpotRequestState {
             (PendingFulfillment, CanceledBeforeFulfillment, "cancelled"),
             (Fulfilled, MarkedForTermination, "price > bid"),
             (Fulfilled, InstanceTerminatedByUser, "terminate"),
-            (Fulfilled, RequestCanceledAndInstanceRunning, "cancel request"),
+            (
+                Fulfilled,
+                RequestCanceledAndInstanceRunning,
+                "cancel request",
+            ),
             (MarkedForTermination, InstanceTerminatedByPrice, "revoked"),
             (MarkedForTermination, InstanceTerminatedByUser, "terminate"),
         ];
@@ -281,11 +286,7 @@ impl fmt::Display for SpotRequestState {
     }
 }
 
-fn render_dot(
-    name: &str,
-    nodes: &[(&str, bool)],
-    edges: &[(&str, &str, &str)],
-) -> String {
+fn render_dot(name: &str, nodes: &[(&str, bool)], edges: &[(&str, &str, &str)]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "digraph {name} {{");
@@ -338,7 +339,11 @@ pub struct IllegalTransition {
 
 impl fmt::Display for IllegalTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal transition from `{}` to `{}`", self.from, self.to)
+        write!(
+            f,
+            "illegal transition from `{}` to `{}`",
+            self.from, self.to
+        )
     }
 }
 
@@ -412,9 +417,12 @@ mod tests {
     #[test]
     fn od_happy_path() {
         let mut st = Tracked::new(OdState::Pending, SimTime::ZERO);
-        st.transition(OdState::Running, SimTime::from_secs(10)).unwrap();
-        st.transition(OdState::ShuttingDown, SimTime::from_secs(20)).unwrap();
-        st.transition(OdState::Terminated, SimTime::from_secs(30)).unwrap();
+        st.transition(OdState::Running, SimTime::from_secs(10))
+            .unwrap();
+        st.transition(OdState::ShuttingDown, SimTime::from_secs(20))
+            .unwrap();
+        st.transition(OdState::Terminated, SimTime::from_secs(30))
+            .unwrap();
         assert!(st.current().is_terminal());
         assert_eq!(st.history().len(), 4);
     }
@@ -422,7 +430,8 @@ mod tests {
     #[test]
     fn od_denied_is_terminal() {
         let mut st = Tracked::new(OdState::Pending, SimTime::ZERO);
-        st.transition(OdState::Denied, SimTime::from_secs(1)).unwrap();
+        st.transition(OdState::Denied, SimTime::from_secs(1))
+            .unwrap();
         assert!(st
             .transition(OdState::Running, SimTime::from_secs(2))
             .is_err());

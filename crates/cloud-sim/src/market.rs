@@ -107,7 +107,13 @@ pub struct MarketState {
 
 impl MarketState {
     /// Creates a market at its floor price.
-    pub fn new(od_price: Price, weight: f64, base_mass: f64, units: u32, floor_multiple: f64) -> Self {
+    pub fn new(
+        od_price: Price,
+        weight: f64,
+        base_mass: f64,
+        units: u32,
+        floor_multiple: f64,
+    ) -> Self {
         let floor = od_price.scale(floor_multiple);
         MarketState {
             od_price,
@@ -256,11 +262,7 @@ mod tests {
         let mut m = MarketState::new(od, 0.5, 10.0, 8, 0.1);
         assert_eq!(m.true_price(), od.scale(0.1));
         let clearing = clear(&MULTIPLES, &[0.0, 0.0, 5.0, 3.0, 2.0], 4.0);
-        let changed = m.apply_clearing(
-            clearing,
-            SimTime::from_secs(100),
-            SimTime::from_secs(130),
-        );
+        let changed = m.apply_clearing(clearing, SimTime::from_secs(100), SimTime::from_secs(130));
         assert!(changed);
         assert_eq!(m.true_price(), od.scale(2.0));
         assert_eq!(m.published_price(), od.scale(0.1), "not yet published");

@@ -359,7 +359,10 @@ impl CapacityPool {
     }
 
     fn occupied(&self) -> u64 {
-        self.reserved_running + self.od_organic + self.od_external + self.spot_market
+        self.reserved_running
+            + self.od_organic
+            + self.od_external
+            + self.spot_market
             + self.spot_external
     }
 

@@ -163,7 +163,10 @@ mod tests {
             t.price_at(market(), SimTime::from_secs(150)),
             Some(Price::from_dollars(0.2))
         );
-        assert_eq!(t.price_at(market(), SimTime::from_secs(0)), Some(Price::from_dollars(0.1)));
+        assert_eq!(
+            t.price_at(market(), SimTime::from_secs(0)),
+            Some(Price::from_dollars(0.1))
+        );
     }
 
     #[test]

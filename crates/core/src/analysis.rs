@@ -46,15 +46,14 @@ pub struct CurvePoint {
     pub trials: u64,
 }
 
-/// A per-market index of rejected on-demand probe times.
-fn od_rejections(store: &DataStore) -> HashMap<MarketId, Vec<SimTime>> {
-    let mut idx: HashMap<MarketId, Vec<SimTime>> = HashMap::new();
-    for p in store.probes() {
-        if p.kind == ProbeKind::OnDemand && p.outcome == ProbeOutcome::InsufficientCapacity {
-            idx.entry(p.market).or_default().push(p.at);
-        }
-    }
-    idx
+/// A per-market view of rejected on-demand probe times, served from the
+/// store's time-sorted rejection index (no probe-log scan).
+fn od_rejections(store: &DataStore) -> HashMap<MarketId, &[SimTime]> {
+    store
+        .rejection_entries()
+        .filter(|&((_, kind), _)| kind == ProbeKind::OnDemand)
+        .map(|((market, _), times)| (market, times))
+        .collect()
 }
 
 /// A per-(region, family) time-sorted index of *detections* (the opening
@@ -108,8 +107,7 @@ pub fn spike_unavailability(
     }
     for (market, mut spikes) in by_market {
         spikes.sort_by_key(|&(t, _)| t);
-        let empty = Vec::new();
-        let rej = rejections.get(&market).unwrap_or(&empty);
+        let rej: &[SimTime] = rejections.get(&market).copied().unwrap_or(&[]);
         let mut cluster_start: Option<SimTime> = None;
         let mut cluster_max = 0.0_f64;
         let flush = |start: SimTime, max_ratio: f64, rate: &mut BucketedRate| {
@@ -150,9 +148,7 @@ pub fn spike_unavailability(
 /// region, per spike-size bucket. Returns `(edges, region → share per
 /// bucket)`; shares within one bucket sum to 1 (when it has any
 /// rejections).
-pub fn regional_rejection_share(
-    store: &DataStore,
-) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
+pub fn regional_rejection_share(store: &DataStore) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
     let edges = spike_thresholds();
     let probe_bucket = BucketedRate::new(&edges);
     let mut counts: HashMap<Region, Vec<u64>> = HashMap::new();
@@ -230,10 +226,7 @@ pub fn rejection_attribution(store: &DataStore) -> (Vec<f64>, Vec<f64>, Vec<f64>
 /// that at least one *same-type* market in another zone is also detected
 /// unavailable within `window`, as a function of the detection's spike
 /// size.
-pub fn cross_az_unavailability(
-    store: &DataStore,
-    window: SimDuration,
-) -> Vec<CurvePoint> {
+pub fn cross_az_unavailability(store: &DataStore, window: SimDuration) -> Vec<CurvePoint> {
     let rejections = od_rejections(store);
     let mut rate = BucketedRate::new(&spike_thresholds());
 
@@ -244,7 +237,7 @@ pub fn cross_az_unavailability(
         let m = interval.market;
         let t = interval.start;
         let mut hit = false;
-        for (&other, times) in &rejections {
+        for (&other, &times) in &rejections {
             if other == m
                 || other.instance_type != m.instance_type
                 || other.platform != m.platform
@@ -319,9 +312,7 @@ pub fn spot_cna_curve(store: &DataStore, region: Option<Region>) -> Vec<CurvePoi
 /// Figure 5.11: where spot capacity-not-available events land, as a
 /// share per region per price bucket. Returns `(edges, region →
 /// share-of-all-CNA per bucket)`.
-pub fn spot_cna_distribution(
-    store: &DataStore,
-) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
+pub fn spot_cna_distribution(store: &DataStore) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
     let edges = spot_ratio_buckets();
     let bucketer = BucketedRate::new(&edges);
     let mut counts: HashMap<Region, Vec<u64>> = HashMap::new();
@@ -346,7 +337,13 @@ pub fn spot_cna_distribution(
             (
                 r,
                 c.iter()
-                    .map(|&n| if total > 0 { n as f64 / total as f64 } else { 0.0 })
+                    .map(|&n| {
+                        if total > 0 {
+                            n as f64 / total as f64
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect(),
             )
         })
@@ -405,36 +402,44 @@ pub fn cross_market_unavailability(
             CrossRelation::OdSpot => (ProbeKind::OnDemand, &spot_idx),
             CrossRelation::SpotOd => (ProbeKind::Spot, &od_idx),
         };
-        let mut probs = Vec::with_capacity(windows.len());
-        for &w in windows {
-            let mut trials = 0u64;
-            let mut hits = 0u64;
-            for interval in store.intervals() {
-                if interval.kind != from_kind {
-                    continue;
-                }
-                let m = interval.market;
-                let group = (m.region(), m.instance_type.family());
-                trials += 1;
-                if let Some(entries) = to_idx.get(&group) {
-                    let from = interval.start;
-                    let to = interval.start + w;
-                    let i = entries.partition_point(|&(t, _)| t < from);
-                    if entries[i..]
-                        .iter()
-                        .take_while(|&&(t, _)| t <= to)
-                        .any(|&(_, other)| other.az != m.az)
-                    {
-                        hits += 1;
-                    }
+        // One pass over the interval log per relation: each trial
+        // binary-searches the detection index once and then walks
+        // forward, accumulating hits for every window at once.
+        let mut trials = 0u64;
+        let mut hits = vec![0u64; windows.len()];
+        for interval in store.intervals() {
+            if interval.kind != from_kind {
+                continue;
+            }
+            let m = interval.market;
+            let group = (m.region(), m.instance_type.family());
+            trials += 1;
+            let Some(entries) = to_idx.get(&group) else {
+                continue;
+            };
+            let from = interval.start;
+            let i = entries.partition_point(|&(t, _)| t < from);
+            for (wi, &w) in windows.iter().enumerate() {
+                let to = from + w;
+                if entries[i..]
+                    .iter()
+                    .take_while(|&&(t, _)| t <= to)
+                    .any(|&(_, other)| other.az != m.az)
+                {
+                    hits[wi] += 1;
                 }
             }
-            probs.push(if trials > 0 {
-                hits as f64 / trials as f64
-            } else {
-                0.0
-            });
         }
+        let probs = hits
+            .into_iter()
+            .map(|h| {
+                if trials > 0 {
+                    h as f64 / trials as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         out.insert(relation, probs);
     }
     out
@@ -724,10 +729,7 @@ mod tests {
         let trace: Vec<(u64, f64)> = (0..100)
             .map(|i| (i * 600, 0.1 + 0.05 * ((i * 37) % 11) as f64))
             .collect();
-        let series = holding_price_series(
-            &trace,
-            &[SimDuration::hours(1), SimDuration::hours(6)],
-        );
+        let series = holding_price_series(&trace, &[SimDuration::hours(1), SimDuration::hours(6)]);
         let one = &series[0].1;
         let six = &series[1].1;
         for (a, b) in one.iter().zip(six) {

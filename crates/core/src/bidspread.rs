@@ -196,6 +196,9 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_gap, "expected at least one publication lag in 400 ticks");
+        assert!(
+            saw_gap,
+            "expected at least one publication lag in 400 ticks"
+        );
     }
 }

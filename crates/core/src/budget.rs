@@ -212,16 +212,21 @@ mod tests {
     #[test]
     fn calibration_picks_lowest_affordable_threshold() {
         let rates = [
-            SpikeRate { threshold: 1.0, spikes_per_window: 100.0 },
-            SpikeRate { threshold: 2.0, spikes_per_window: 20.0 },
-            SpikeRate { threshold: 5.0, spikes_per_window: 2.0 },
+            SpikeRate {
+                threshold: 1.0,
+                spikes_per_window: 100.0,
+            },
+            SpikeRate {
+                threshold: 2.0,
+                spikes_per_window: 20.0,
+            },
+            SpikeRate {
+                threshold: 5.0,
+                spikes_per_window: 2.0,
+            },
         ];
-        let c = calibrate_threshold(
-            &rates,
-            Price::from_dollars(0.5),
-            Price::from_dollars(15.0),
-        )
-        .unwrap();
+        let c = calibrate_threshold(&rates, Price::from_dollars(0.5), Price::from_dollars(15.0))
+            .unwrap();
         // Afford 30 probes: threshold 2.0 (20 spikes) fits, 1.0 doesn't.
         assert_eq!(c.threshold, 2.0);
         assert_eq!(c.sampling, 1.0);
@@ -229,13 +234,12 @@ mod tests {
 
     #[test]
     fn calibration_falls_back_to_sampling() {
-        let rates = [SpikeRate { threshold: 7.0, spikes_per_window: 100.0 }];
-        let c = calibrate_threshold(
-            &rates,
-            Price::from_dollars(1.0),
-            Price::from_dollars(10.0),
-        )
-        .unwrap();
+        let rates = [SpikeRate {
+            threshold: 7.0,
+            spikes_per_window: 100.0,
+        }];
+        let c = calibrate_threshold(&rates, Price::from_dollars(1.0), Price::from_dollars(10.0))
+            .unwrap();
         assert_eq!(c.threshold, 7.0);
         assert!((c.sampling - 0.1).abs() < 1e-9);
         assert!((c.expected_probes_per_window - 10.0).abs() < 1e-9);
@@ -243,8 +247,13 @@ mod tests {
 
     #[test]
     fn calibration_degenerate_inputs() {
-        assert!(calibrate_threshold(&[], Price::from_dollars(1.0), Price::from_dollars(1.0)).is_none());
-        let rates = [SpikeRate { threshold: 1.0, spikes_per_window: 1.0 }];
+        assert!(
+            calibrate_threshold(&[], Price::from_dollars(1.0), Price::from_dollars(1.0)).is_none()
+        );
+        let rates = [SpikeRate {
+            threshold: 1.0,
+            spikes_per_window: 1.0,
+        }];
         assert!(calibrate_threshold(&rates, Price::ZERO, Price::from_dollars(1.0)).is_none());
         assert!(calibrate_threshold(&rates, Price::from_dollars(1.0), Price::ZERO).is_none());
     }

@@ -66,6 +66,7 @@ pub mod query;
 pub mod spotlight;
 pub mod stats;
 pub mod store;
+pub mod sync;
 
 pub use policy::{PolicyConfig, SpotLightConfig};
 pub use probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};

@@ -15,21 +15,21 @@
 //!
 //! The engine-hosted [`crate::spotlight::SpotLight`] agent is the
 //! deterministic twin of this deployment; the live mode exists to
-//! demonstrate and test the concurrent architecture (`crossbeam`
-//! channels, `parking_lot` locks) at the cost of determinism across
+//! demonstrate and test the concurrent architecture (mpsc channels,
+//! [`crate::sync::Mutex`] locks) at the cost of determinism across
 //! thread interleavings. Within one region, probing is deterministic.
 
 use crate::policy::PolicyConfig;
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
 use crate::store::{SharedStore, SpikeEvent};
+use crate::sync::Mutex;
 use cloud_sim::api::ApiError;
 use cloud_sim::cloud::{Cloud, CloudEvent};
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::price::Price;
 use cloud_sim::time::{SimDuration, SimTime};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
 
@@ -218,7 +218,7 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     config.policy.validate().expect("invalid policy");
     let regions: Vec<Region> = cloud.catalog().regions();
     let shared: SharedCloud = Arc::new(Mutex::new(cloud));
-    let (db_tx, db_rx) = unbounded::<DbMsg>();
+    let (db_tx, db_rx) = channel::<DbMsg>();
 
     // Database manager: the only writer to the store.
     let db_store = store.clone();
@@ -241,7 +241,7 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     let mut region_txs: HashMap<Region, Sender<RegionMsg>> = HashMap::new();
     let mut handles = Vec::new();
     for &region in &regions {
-        let (tx, rx) = unbounded::<RegionMsg>();
+        let (tx, rx) = channel::<RegionMsg>();
         region_txs.insert(region, tx);
         let worker = RegionWorker {
             region,

@@ -9,7 +9,7 @@
 //! spot servers are revoked.
 
 use crate::budget::SpikeRate;
-use crate::probe::{ProbeKind, ProbeOutcome};
+use crate::probe::ProbeKind;
 use crate::store::DataStore;
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::time::{SimDuration, SimTime};
@@ -62,12 +62,13 @@ impl<'a> SpotLightQuery<'a> {
 
     /// Seconds of measured unavailability of `(market, kind)` inside the
     /// observation span (open intervals run to the span's end).
+    ///
+    /// Index-backed: walks only this `(market, kind)`'s intervals, not
+    /// the full interval log.
     pub fn unavailable_seconds(&self, market: MarketId, kind: ProbeKind) -> u64 {
         let (start, end) = self.span;
         self.store
-            .intervals()
-            .iter()
-            .filter(|i| i.market == market && i.kind == kind)
+            .intervals_of(market, kind)
             .map(|i| {
                 let s = i.start.max(start);
                 let e = i.end.unwrap_or(end).min(end);
@@ -77,30 +78,23 @@ impl<'a> SpotLightQuery<'a> {
     }
 
     /// Availability summary of `(market, kind)` over the span.
+    ///
+    /// Index-backed: probe counts come from the store's running
+    /// per-`(market, kind)` counters (O(1)); interval accounting walks
+    /// only this key's intervals.
     pub fn availability(&self, market: MarketId, kind: ProbeKind) -> AvailabilityStats {
         let (start, end) = self.span;
         let span_secs = (end - start).as_secs().max(1);
-        let mut probes = 0;
-        let mut rejections = 0;
-        for p in self.store.probes_of(market) {
-            if p.kind == kind && p.outcome.is_informative() {
-                probes += 1;
-                if p.outcome.is_unavailable() {
-                    rejections += 1;
-                }
-            }
-        }
+        let stats = self.store.probe_stats(market, kind);
         let intervals = self
             .store
-            .intervals()
-            .iter()
-            .filter(|i| i.market == market && i.kind == kind && i.end.is_some())
+            .intervals_of(market, kind)
+            .filter(|i| i.end.is_some())
             .count() as u64;
         AvailabilityStats {
-            probes,
-            rejections,
-            unavailable_fraction: self.unavailable_seconds(market, kind) as f64
-                / span_secs as f64,
+            probes: stats.informative,
+            rejections: stats.rejections,
+            unavailable_fraction: self.unavailable_seconds(market, kind) as f64 / span_secs as f64,
             intervals,
         }
     }
@@ -122,10 +116,7 @@ impl<'a> SpotLightQuery<'a> {
     pub fn mean_time_to_revocation(&self, market: MarketId) -> Option<SimDuration> {
         let mut total = 0u64;
         let mut n = 0u64;
-        for r in self.store.revocations() {
-            if r.market != market {
-                continue;
-            }
+        for r in self.store.revocations_of(market) {
             let end = r.revoked_at.or(r.released_at)?;
             total += end.saturating_since(r.acquired_at).as_secs();
             n += 1;
@@ -168,21 +159,17 @@ impl<'a> SpotLightQuery<'a> {
         b: MarketId,
         window: SimDuration,
     ) -> Option<f64> {
-        let b_times: Vec<SimTime> = self
-            .store
-            .probes_of(b)
-            .filter(|p| p.kind == ProbeKind::OnDemand && p.outcome.is_unavailable())
-            .map(|p| p.at)
-            .collect();
+        // Both sides are index-backed: `a`'s detections come from its
+        // interval index and `b`'s rejections from its time-sorted
+        // rejection index, so each trial is a binary search.
+        let b_times = self.store.rejection_times(b, ProbeKind::OnDemand);
         let mut trials = 0u64;
         let mut hits = 0u64;
-        for i in self.store.intervals() {
-            if i.market != a || i.kind != ProbeKind::OnDemand {
-                continue;
-            }
+        for i in self.store.intervals_of(a, ProbeKind::OnDemand) {
             trials += 1;
             let to = i.start + window;
-            if b_times.iter().any(|&t| t >= i.start && t <= to) {
+            let lo = b_times.partition_point(|&t| t < i.start);
+            if b_times.get(lo).is_some_and(|&t| t <= to) {
                 hits += 1;
             }
         }
@@ -210,15 +197,13 @@ impl<'a> SpotLightQuery<'a> {
                 let corr = self
                     .conditional_unavailability(market, c, window)
                     .unwrap_or(0.0);
-                let own = self.availability(c, ProbeKind::OnDemand).unavailable_fraction;
+                let own = self
+                    .availability(c, ProbeKind::OnDemand)
+                    .unavailable_fraction;
                 (c, corr, own)
             })
             .collect();
-        rows.sort_by(|a, b| {
-            (a.1, a.2)
-                .partial_cmp(&(b.1, b.2))
-                .expect("finite scores")
-        });
+        rows.sort_by(|a, b| (a.1, a.2).partial_cmp(&(b.1, b.2)).expect("finite scores"));
         rows.into_iter().take(n).map(|(m, _, _)| m).collect()
     }
 
@@ -231,12 +216,8 @@ impl<'a> SpotLightQuery<'a> {
             .iter()
             .map(|&t| SpikeRate {
                 threshold: t,
-                spikes_per_window: self
-                    .store
-                    .spikes()
-                    .iter()
-                    .filter(|s| s.ratio >= t)
-                    .count() as f64
+                spikes_per_window: self.store.spikes().iter().filter(|s| s.ratio >= t).count()
+                    as f64
                     / windows,
             })
             .collect()
@@ -244,28 +225,21 @@ impl<'a> SpotLightQuery<'a> {
 
     /// Regions ordered by their measured on-demand rejection share — a
     /// quick "where is the cloud under-provisioned" view (§5.2.2).
+    /// Served from the store's running per-region counters.
     pub fn rejection_counts_by_region(&self) -> HashMap<Region, u64> {
-        let mut counts = HashMap::new();
-        for p in self.store.probes() {
-            if p.kind == ProbeKind::OnDemand
-                && p.outcome == ProbeOutcome::InsufficientCapacity
-            {
-                *counts.entry(p.market.region()).or_insert(0) += 1;
-            }
-        }
-        counts
+        self.store.od_rejections_by_region().clone()
     }
 
     /// Markets that were probed at least once.
     pub fn observed_markets(&self) -> HashSet<MarketId> {
-        self.store.probes().iter().map(|p| p.market).collect()
+        self.store.probed_markets().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::probe::{ProbeRecord, ProbeTrigger};
+    use crate::probe::{ProbeOutcome, ProbeRecord, ProbeTrigger};
     use crate::store::RevocationRecord;
     use cloud_sim::ids::{Az, Platform};
     use cloud_sim::price::Price;
@@ -353,7 +327,11 @@ mod tests {
         // of both, `independent` never rejected.
         for t in [0u64, 10_000] {
             s.record_probe(probe(t, m, ProbeOutcome::InsufficientCapacity));
-            s.record_probe(probe(t + 60, correlated, ProbeOutcome::InsufficientCapacity));
+            s.record_probe(probe(
+                t + 60,
+                correlated,
+                ProbeOutcome::InsufficientCapacity,
+            ));
             s.record_probe(probe(t + 400, m, ProbeOutcome::Fulfilled));
             s.record_probe(probe(t + 400, correlated, ProbeOutcome::Fulfilled));
             s.record_probe(probe(t + 60, independent, ProbeOutcome::Fulfilled));
@@ -362,8 +340,7 @@ mod tests {
         let w = SimDuration::from_secs(900);
         assert_eq!(q.conditional_unavailability(m, correlated, w), Some(1.0));
         assert_eq!(q.conditional_unavailability(m, independent, w), Some(0.0));
-        let fallbacks =
-            q.uncorrelated_fallbacks(m, &[correlated, independent], w, 2);
+        let fallbacks = q.uncorrelated_fallbacks(m, &[correlated, independent], w, 2);
         assert_eq!(fallbacks[0], independent);
         // Same-pool candidates are excluded.
         let same_pool = market(0, "c3.xlarge");

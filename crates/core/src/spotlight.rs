@@ -213,7 +213,9 @@ impl SpotLight {
         let Some(published) = ctx.cloud.oracle_published_price(market) else {
             return ProbeOutcome::ApiLimited;
         };
-        let bid = bid.unwrap_or(published).min(ctx.cloud.catalog().bid_cap(market));
+        let bid = bid
+            .unwrap_or(published)
+            .min(ctx.cloud.catalog().bid_cap(market));
         if !self.budget.allows(now, published) {
             self.store.lock().record_suppressed();
             return ProbeOutcome::ApiLimited;
@@ -221,7 +223,10 @@ impl SpotLight {
         let (outcome, cost) = match ctx.cloud.request_spot_instance(market, bid) {
             Ok(sub) => match sub.status {
                 SpotRequestState::Fulfilled => {
-                    let cost = ctx.cloud.terminate_spot_instance(sub.id).unwrap_or(published);
+                    let cost = ctx
+                        .cloud
+                        .terminate_spot_instance(sub.id)
+                        .unwrap_or(published);
                     (ProbeOutcome::Fulfilled, cost)
                 }
                 SpotRequestState::CapacityNotAvailable => {
@@ -361,8 +366,7 @@ impl SpotLight {
                 .map(|k| all[(self.spot_cursor + k) % all.len()])
                 .collect()
         };
-        self.spot_cursor =
-            (self.spot_cursor + sc.batch_size) % ctx.cloud.catalog().markets().len();
+        self.spot_cursor = (self.spot_cursor + sc.batch_size) % ctx.cloud.catalog().markets().len();
         for market in markets {
             // Skip markets already being tracked as unavailable; the
             // recovery loop owns them.
@@ -446,9 +450,7 @@ impl Agent for SpotLight {
         }
         for idx in 0..self.cfg.bidspread_markets.len() {
             // Stagger the searches so they do not collide on limits.
-            let offset = cloud_sim::time::SimDuration::from_secs(
-                601 * (idx as u64 + 1),
-            );
+            let offset = cloud_sim::time::SimDuration::from_secs(601 * (idx as u64 + 1));
             let at = ctx.now() + offset;
             self.schedule(ctx, at, Action::BidSpread(idx));
         }
@@ -516,11 +518,7 @@ mod tests {
     use cloud_sim::engine::Engine;
     use cloud_sim::time::{SimDuration, SimTime};
 
-    fn run_spotlight(
-        days: u64,
-        sim_seed: u64,
-        cfg: SpotLightConfig,
-    ) -> crate::store::SharedStore {
+    fn run_spotlight(days: u64, sim_seed: u64, cfg: SpotLightConfig) -> crate::store::SharedStore {
         let config = SimConfig::paper(sim_seed);
         let mut engine = Engine::new(Catalog::testbed(), config);
         engine.cloud_mut().warmup(20);
@@ -584,10 +582,7 @@ mod tests {
             .count();
         let related = s.probes().iter().filter(|p| p.trigger.is_related()).count();
         if detections > 0 {
-            assert!(
-                related > 0,
-                "detections must trigger related-market probes"
-            );
+            assert!(related > 0, "detections must trigger related-market probes");
         }
     }
 

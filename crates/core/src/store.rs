@@ -6,12 +6,41 @@
 //! (Chapter 4). Here the store is an indexed in-memory log; the analysis
 //! (`crate::analysis`) and the query interface (`crate::query`) are pure
 //! functions over it.
+//!
+//! # Index invariants
+//!
+//! The log itself (`probes`, `intervals`, `revocations`, …) is strictly
+//! append-only; records are never reordered or removed. On top of it the
+//! store maintains secondary indices so per-market queries never scan
+//! the full log:
+//!
+//! * `probes_by_market` / `revocations_by_market` — per-market record
+//!   indices, kept **sorted by timestamp**. Probes arrive in
+//!   non-decreasing time order from the engine, so maintaining the sort
+//!   is an O(1) append in the common case; a rare out-of-order insert
+//!   (live mode's thread interleavings) costs a binary-search insertion.
+//!   Sorted order is what turns time-range queries into binary searches
+//!   ([`DataStore::probes_between`]).
+//! * `intervals_by_key` — unavailability-interval indices per
+//!   `(market, kind)`, in interval-open order (monotone, since
+//!   intervals open at probe time).
+//! * `rejection_times` — the timestamps of unavailable-outcome probes
+//!   per `(market, kind)`, time-sorted; the correlation analyses binary
+//!   search these.
+//! * `probe_stats` — running informative/rejection counters per
+//!   `(market, kind)`, so availability summaries are O(1) in the probe
+//!   count.
+//! * `open_intervals` — at most one open interval per `(market, kind)`,
+//!   pointing into `intervals`.
+//!
+//! Every index refers to records by their position in the append-only
+//! log, so an index entry is never invalidated.
 
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, UnavailabilityInterval};
-use cloud_sim::ids::MarketId;
+use crate::sync::Mutex;
+use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::price::Price;
 use cloud_sim::time::SimTime;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -62,6 +91,15 @@ pub struct IntrinsicBidRecord {
     pub attempts: u32,
 }
 
+/// Running per-`(market, kind)` probe counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Informative probes (everything but `ApiLimited`).
+    pub informative: u64,
+    /// Probes with an unavailable outcome.
+    pub rejections: u64,
+}
+
 /// The in-memory database.
 #[derive(Debug, Default)]
 pub struct DataStore {
@@ -69,8 +107,13 @@ pub struct DataStore {
     probes_by_market: HashMap<MarketId, Vec<usize>>,
     spikes: Vec<SpikeEvent>,
     intervals: Vec<UnavailabilityInterval>,
+    intervals_by_key: HashMap<(MarketId, ProbeKind), Vec<usize>>,
     open_intervals: HashMap<(MarketId, ProbeKind), usize>,
+    rejection_times: HashMap<(MarketId, ProbeKind), Vec<SimTime>>,
+    probe_stats: HashMap<(MarketId, ProbeKind), ProbeStats>,
+    od_rejections_by_region: HashMap<Region, u64>,
     revocations: Vec<RevocationRecord>,
+    revocations_by_market: HashMap<MarketId, Vec<usize>>,
     intrinsic_bids: Vec<IntrinsicBidRecord>,
     total_cost: Price,
     suppressed_probes: u64,
@@ -83,6 +126,19 @@ pub type SharedStore = Arc<Mutex<DataStore>>;
 /// Creates an empty shared store.
 pub fn shared_store() -> SharedStore {
     Arc::new(Mutex::new(DataStore::default()))
+}
+
+/// Inserts `item` into a vector kept sorted by `key_of`. Appends in
+/// O(1) when the new item's key is the latest (the engine's monotone
+/// case); binary-search inserts otherwise.
+fn insert_sorted_by<T: Copy, K: Ord>(sorted: &mut Vec<T>, item: T, key_of: impl Fn(&T) -> K) {
+    match sorted.last() {
+        Some(last) if key_of(last) > key_of(&item) => {
+            let pos = sorted.partition_point(|x| key_of(x) <= key_of(&item));
+            sorted.insert(pos, item);
+        }
+        _ => sorted.push(item),
+    }
 }
 
 impl DataStore {
@@ -98,18 +154,41 @@ impl DataStore {
     pub fn record_probe(&mut self, probe: ProbeRecord) -> bool {
         let idx = self.probes.len();
         self.probes.push(probe);
-        self.probes_by_market
-            .entry(probe.market)
-            .or_default()
-            .push(idx);
+        let by_market = self.probes_by_market.entry(probe.market).or_default();
+        let probes = &self.probes;
+        insert_sorted_by(by_market, idx, |&i| probes[i].at);
         self.total_cost += probe.cost;
 
         let key = (probe.market, probe.kind);
+        if probe.outcome.is_informative() {
+            let stats = self.probe_stats.entry(key).or_default();
+            stats.informative += 1;
+            if probe.outcome.is_unavailable() {
+                stats.rejections += 1;
+            }
+        }
+
         if probe.outcome.is_unavailable() {
+            insert_sorted_by(
+                self.rejection_times.entry(key).or_default(),
+                probe.at,
+                |&t| t,
+            );
+            if probe.kind == ProbeKind::OnDemand {
+                *self
+                    .od_rejections_by_region
+                    .entry(probe.market.region())
+                    .or_insert(0) += 1;
+            }
             if self.open_intervals.contains_key(&key) {
                 return false;
             }
-            self.open_intervals.insert(key, self.intervals.len());
+            let interval_idx = self.intervals.len();
+            self.open_intervals.insert(key, interval_idx);
+            self.intervals_by_key
+                .entry(key)
+                .or_default()
+                .push(interval_idx);
             self.intervals.push(UnavailabilityInterval {
                 market: probe.market,
                 kind: probe.kind,
@@ -142,7 +221,11 @@ impl DataStore {
 
     /// Records a revocation-watch observation.
     pub fn record_revocation(&mut self, rec: RevocationRecord) {
+        let idx = self.revocations.len();
         self.revocations.push(rec);
+        let by_market = self.revocations_by_market.entry(rec.market).or_default();
+        let revocations = &self.revocations;
+        insert_sorted_by(by_market, idx, |&i| revocations[i].acquired_at);
     }
 
     /// Records an intrinsic-bid measurement.
@@ -164,6 +247,26 @@ impl DataStore {
             .map(move |&i| &self.probes[i])
     }
 
+    /// The probes of one market inside `[from, to]`, oldest first — a
+    /// binary search over the time-sorted per-market index, O(log n +
+    /// matches) rather than O(market probes).
+    pub fn probes_between(
+        &self,
+        market: MarketId,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &ProbeRecord> + '_ {
+        let index: &[usize] = self
+            .probes_by_market
+            .get(&market)
+            .map_or(&[], |v| v.as_slice());
+        let lo = index.partition_point(|&i| self.probes[i].at < from);
+        index[lo..]
+            .iter()
+            .map(move |&i| &self.probes[i])
+            .take_while(move |p| p.at <= to)
+    }
+
     /// All spike observations.
     pub fn spikes(&self) -> &[SpikeEvent] {
         &self.spikes
@@ -172,6 +275,59 @@ impl DataStore {
     /// All unavailability intervals (open ones have `end == None`).
     pub fn intervals(&self) -> &[UnavailabilityInterval] {
         &self.intervals
+    }
+
+    /// The unavailability intervals of one `(market, kind)`, in open
+    /// order.
+    pub fn intervals_of(
+        &self,
+        market: MarketId,
+        kind: ProbeKind,
+    ) -> impl Iterator<Item = &UnavailabilityInterval> + '_ {
+        self.intervals_by_key
+            .get(&(market, kind))
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.intervals[i])
+    }
+
+    /// The time-sorted timestamps of unavailable-outcome probes of one
+    /// `(market, kind)` — the input the correlation analyses binary
+    /// search.
+    ///
+    /// "Unavailable" is [`crate::probe::ProbeOutcome::is_unavailable`]:
+    /// for on-demand probes the engine only ever produces
+    /// `InsufficientCapacity`, but a caller recording an on-demand
+    /// probe with `CapacityNotAvailable` would be counted here too.
+    pub fn rejection_times(&self, market: MarketId, kind: ProbeKind) -> &[SimTime] {
+        self.rejection_times
+            .get(&(market, kind))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Iterates every `(market, kind)` that has recorded rejections,
+    /// with its time-sorted rejection timestamps.
+    pub fn rejection_entries(
+        &self,
+    ) -> impl Iterator<Item = ((MarketId, ProbeKind), &[SimTime])> + '_ {
+        self.rejection_times
+            .iter()
+            .map(|(&key, times)| (key, times.as_slice()))
+    }
+
+    /// Running informative/rejection counters of one `(market, kind)`.
+    pub fn probe_stats(&self, market: MarketId, kind: ProbeKind) -> ProbeStats {
+        self.probe_stats
+            .get(&(market, kind))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// On-demand rejection counts per region, maintained at record
+    /// time. Counts any unavailable outcome on an on-demand probe
+    /// (from the engine that is exactly `InsufficientCapacity`).
+    pub fn od_rejections_by_region(&self) -> &HashMap<Region, u64> {
+        &self.od_rejections_by_region
     }
 
     /// Whether `(market, kind)` has an open unavailability interval.
@@ -184,9 +340,23 @@ impl DataStore {
         &self.revocations
     }
 
+    /// The revocation observations of one market, oldest first.
+    pub fn revocations_of(&self, market: MarketId) -> impl Iterator<Item = &RevocationRecord> + '_ {
+        self.revocations_by_market
+            .get(&market)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.revocations[i])
+    }
+
     /// All intrinsic-bid measurements.
     pub fn intrinsic_bids(&self) -> &[IntrinsicBidRecord] {
         &self.intrinsic_bids
+    }
+
+    /// Markets that were probed at least once.
+    pub fn probed_markets(&self) -> impl Iterator<Item = MarketId> + '_ {
+        self.probes_by_market.keys().copied()
     }
 
     /// Total money spent on probes.
@@ -244,6 +414,7 @@ mod tests {
         assert!(!s.record_probe(probe(20, market(0), ProbeOutcome::InsufficientCapacity)));
         assert!(s.is_unavailable(market(0), ProbeKind::OnDemand));
         assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.intervals_of(market(0), ProbeKind::OnDemand).count(), 1);
     }
 
     #[test]
@@ -267,6 +438,8 @@ mod tests {
         assert!(s.is_unavailable(market(0), ProbeKind::OnDemand));
         assert!(s.is_unavailable(market(0), ProbeKind::Spot));
         assert_eq!(s.intervals().len(), 2);
+        assert_eq!(s.intervals_of(market(0), ProbeKind::OnDemand).count(), 1);
+        assert_eq!(s.intervals_of(market(0), ProbeKind::Spot).count(), 1);
     }
 
     #[test]
@@ -291,6 +464,61 @@ mod tests {
         assert_eq!(s.probes_of(market(0)).count(), 2);
         assert_eq!(s.probes_of(market(1)).count(), 1);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn probe_stats_track_informative_and_rejections() {
+        let mut s = DataStore::new();
+        s.record_probe(probe(10, market(0), ProbeOutcome::Fulfilled));
+        s.record_probe(probe(20, market(0), ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(30, market(0), ProbeOutcome::ApiLimited));
+        let st = s.probe_stats(market(0), ProbeKind::OnDemand);
+        assert_eq!(st.informative, 2);
+        assert_eq!(st.rejections, 1);
+        assert_eq!(
+            s.probe_stats(market(1), ProbeKind::OnDemand),
+            ProbeStats::default()
+        );
+    }
+
+    #[test]
+    fn probes_between_is_a_time_range() {
+        let mut s = DataStore::new();
+        for t in [10u64, 20, 30, 40, 50] {
+            s.record_probe(probe(t, market(0), ProbeOutcome::Fulfilled));
+        }
+        let hits: Vec<u64> = s
+            .probes_between(market(0), SimTime::from_secs(20), SimTime::from_secs(40))
+            .map(|p| p.at.as_secs())
+            .collect();
+        assert_eq!(hits, vec![20, 30, 40]);
+        assert_eq!(
+            s.probes_between(market(1), SimTime::ZERO, SimTime::from_secs(100))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_indices_sorted() {
+        let mut s = DataStore::new();
+        for t in [50u64, 10, 30, 20, 40] {
+            s.record_probe(probe(t, market(0), ProbeOutcome::InsufficientCapacity));
+        }
+        let times: Vec<u64> = s.probes_of(market(0)).map(|p| p.at.as_secs()).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50]);
+        let rejections = s.rejection_times(market(0), ProbeKind::OnDemand);
+        assert!(rejections.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(rejections.len(), 5);
+    }
+
+    #[test]
+    fn region_rejection_counters_accumulate() {
+        let mut s = DataStore::new();
+        s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(20, market(1), ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(30, market(0), ProbeOutcome::Fulfilled));
+        assert_eq!(s.od_rejections_by_region()[&Region::UsEast1], 2);
     }
 
     #[test]

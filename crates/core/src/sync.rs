@@ -1,0 +1,66 @@
+//! Minimal locking primitives for the live deployment.
+//!
+//! The prototype's live mode originally leaned on `parking_lot`; the
+//! container builds offline, so this module wraps [`std::sync::Mutex`]
+//! with the same ergonomic, non-poisoning `lock()` API (a poisoned lock
+//! just hands back the inner guard — every writer here leaves the store
+//! and cloud in a consistent state between mutations).
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock()` never returns a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a lock owning `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_into_inner_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -174,15 +174,24 @@ mod tests {
         let s = series(&[(0, 0.1), (100, 0.5), (200, 0.2)]);
         assert_eq!(s.at(SimTime::from_secs(0)), Some(Price::from_dollars(0.1)));
         assert_eq!(s.at(SimTime::from_secs(99)), Some(Price::from_dollars(0.1)));
-        assert_eq!(s.at(SimTime::from_secs(100)), Some(Price::from_dollars(0.5)));
-        assert_eq!(s.at(SimTime::from_secs(500)), Some(Price::from_dollars(0.2)));
+        assert_eq!(
+            s.at(SimTime::from_secs(100)),
+            Some(Price::from_dollars(0.5))
+        );
+        assert_eq!(
+            s.at(SimTime::from_secs(500)),
+            Some(Price::from_dollars(0.2))
+        );
     }
 
     #[test]
     fn crossings() {
         let s = series(&[(0, 0.1), (100, 0.5), (200, 0.2), (300, 0.7)]);
         let th = Price::from_dollars(0.4);
-        assert_eq!(s.next_above(SimTime::ZERO, th), Some(SimTime::from_secs(100)));
+        assert_eq!(
+            s.next_above(SimTime::ZERO, th),
+            Some(SimTime::from_secs(100))
+        );
         assert_eq!(
             s.next_above(SimTime::from_secs(150), th),
             Some(SimTime::from_secs(150)),
@@ -196,7 +205,10 @@ mod tests {
             s.next_at_or_below(SimTime::from_secs(100), th),
             Some(SimTime::from_secs(200))
         );
-        assert_eq!(s.next_above(SimTime::from_secs(301), Price::from_dollars(1.0)), None);
+        assert_eq!(
+            s.next_above(SimTime::from_secs(301), Price::from_dollars(1.0)),
+            None
+        );
     }
 
     #[test]

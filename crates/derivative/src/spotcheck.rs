@@ -119,9 +119,7 @@ pub fn replay(
             // retry interval) or the spot price falls back.
             let od_ready = fallback_od.next_available(cursor);
             let od_ready = ceil_to_interval(cursor, od_ready, config.retry_interval);
-            let spot_back = prices
-                .next_at_or_below(cursor, bid)
-                .unwrap_or(SimTime::MAX);
+            let spot_back = prices.next_at_or_below(cursor, bid).unwrap_or(SimTime::MAX);
             let back_up = od_ready.min(spot_back).min(end);
             downtime += back_up.saturating_since(cursor);
             cursor = back_up;

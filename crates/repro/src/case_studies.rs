@@ -40,8 +40,7 @@ fn informed_timeline(
         .into_iter()
         .filter(|c| c.region() == market.region())
         .collect();
-    let picks =
-        query.uncorrelated_fallbacks(market, &candidates, SimDuration::hours(1), 1);
+    let picks = query.uncorrelated_fallbacks(market, &candidates, SimDuration::hours(1), 1);
     match picks.first() {
         Some(&fallback) => (Some(fallback), od_timeline(store, fallback, study.end)),
         None => (None, AvailabilityTimeline::default()),

@@ -6,9 +6,9 @@ use crate::output::{banner, pct, Table};
 use cloud_sim::ids::Region;
 use cloud_sim::time::SimDuration;
 use spotlight_core::analysis::{
-    cross_az_unavailability, cross_market_unavailability, duration_cdf,
-    regional_rejection_share, rejection_attribution, spike_unavailability,
-    spot_cna_curve, spot_cna_distribution, spot_ratio_buckets, CrossRelation,
+    cross_az_unavailability, cross_market_unavailability, duration_cdf, regional_rejection_share,
+    rejection_attribution, spike_unavailability, spot_cna_curve, spot_cna_distribution,
+    spot_ratio_buckets, CrossRelation,
 };
 use std::path::Path;
 
@@ -61,9 +61,7 @@ pub fn fig_5_4(study: &Study, out: &Path) {
     }
     table.print();
     let _ = table.write_csv(out, "fig_5_4");
-    println!(
-        "  paper shape: rises from ~0% below 1X to ~10% at >10X; longer windows sit higher"
-    );
+    println!("  paper shape: rises from ~0% below 1X to ~10% at >10X; longer windows sit higher");
 }
 
 /// Figure 5.5: share of rejected probes per region vs spike bucket.
@@ -191,7 +189,9 @@ pub fn fig_5_9(study: &Study, out: &Path) {
         return;
     }
     let mut table = Table::new(vec!["duration<=", "fraction"]);
-    for h in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
+    for h in [
+        0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    ] {
         table.row(vec![
             format!("{h}h"),
             pct(Some(cdf.fraction_at_or_below(h))),
@@ -278,8 +278,7 @@ pub fn fig_5_11(study: &Study, out: &Path) {
 pub fn fig_5_12(study: &Study, out: &Path) {
     banner("Figure 5.12 — on-demand vs spot related-market unavailability");
     let windows = [300u64, 900, 1800, 2400, 3600];
-    let durations: Vec<SimDuration> =
-        windows.iter().map(|&w| SimDuration::from_secs(w)).collect();
+    let durations: Vec<SimDuration> = windows.iter().map(|&w| SimDuration::from_secs(w)).collect();
     let store = study.store.lock();
     let result = cross_market_unavailability(&store, &durations);
     let mut header = vec!["window".to_string()];

@@ -51,20 +51,10 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "--days" => {
-                config.days = value()?
-                    .parse()
-                    .map_err(|e| format!("--days: {e}"))?
-            }
-            "--seed" => {
-                config.seed = value()?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
+            "--days" => config.days = value()?.parse().map_err(|e| format!("--days: {e}"))?,
+            "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--threshold" => {
-                config.threshold = value()?
-                    .parse()
-                    .map_err(|e| format!("--threshold: {e}"))?
+                config.threshold = value()?.parse().map_err(|e| format!("--threshold: {e}"))?
             }
             "--out" => out = PathBuf::from(value()?),
             other => return Err(format!("unknown flag {other}")),

@@ -75,7 +75,11 @@ impl Table {
         writeln!(
             f,
             "{}",
-            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(

@@ -70,7 +70,10 @@ pub fn table_2_1(study: &Study, out: &Path) {
         format!("Low ({mean_ratio:.2}x at probe time)"),
         "Yes".to_string(),
         "Variable".to_string(),
-        format!("Not guaranteed ({} cap-unavailable)", pct(Some(spot_cna_rate))),
+        format!(
+            "Not guaranteed ({} cap-unavailable)",
+            pct(Some(spot_cna_rate))
+        ),
     ]);
     table.row(vec![
         "Spot Blocks".to_string(),

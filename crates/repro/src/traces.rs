@@ -194,7 +194,10 @@ pub fn fig_5_3(study: &Study, out: &Path) {
     }
     let _ = table.write_csv(out, "fig_5_3");
     let mean = |xs: &[(u64, f64)]| xs.iter().map(|x| x.1).sum::<f64>() / xs.len().max(1) as f64;
-    println!("  mean spot price: ${:.4}   on-demand: ${od:.4}", mean(&trace));
+    println!(
+        "  mean spot price: ${:.4}   on-demand: ${od:.4}",
+        mean(&trace)
+    );
     for (h, s) in &series {
         println!(
             "  mean least bid to hold {:>4}: ${:.4} ({:+.0}% over spot)",

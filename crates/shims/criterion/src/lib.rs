@@ -1,0 +1,363 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this crate provides
+//! the subset of the criterion API the benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher` (`iter`, `iter_batched`,
+//! `iter_batched_ref`), `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a small but honest wall-clock
+//! harness: per sample it runs a measured batch of iterations and
+//! reports the **median** per-iteration time across samples.
+//!
+//! Output goes to stdout, and — when the `CRITERION_JSON` environment
+//! variable names a file — as JSON lines
+//! `{"name": …, "median_ns": …, "samples": …, "iters_per_sample": …}`
+//! appended to that file. `scripts/bench_snapshot.sh` uses that to build
+//! `BENCH_PR*.json` snapshots.
+//!
+//! Replace this path dependency with the real `criterion` once a
+//! vendored registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine invocation regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark name (`group/function`).
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Drives timing for one benchmark function.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, usize, u64)>,
+}
+
+/// Budget per benchmark: keep full `cargo bench` runs in minutes, not
+/// hours. Samples stop early once this much wall clock is spent.
+const TIME_BUDGET: Duration = Duration::from_millis(1500);
+/// Target duration of one sample, so short routines are batched enough
+/// for the clock to resolve them.
+const SAMPLE_TARGET: Duration = Duration::from_micros(500);
+
+impl Bencher {
+    /// Measures `routine` and records the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations make one sample long enough?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = SAMPLE_TARGET.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                ((iters as f64 * scale.min(16.0)).ceil() as u64).max(iters + 1)
+            };
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            if budget_start.elapsed() > TIME_BUDGET && samples.len() >= 5 {
+                break;
+            }
+        }
+        self.record(samples, iters);
+    }
+
+    /// Measures `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+            if budget_start.elapsed() > TIME_BUDGET && samples.len() >= 5 {
+                break;
+            }
+        }
+        self.record(samples, 1);
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            samples.push(start.elapsed().as_nanos() as f64);
+            if budget_start.elapsed() > TIME_BUDGET && samples.len() >= 5 {
+                break;
+            }
+        }
+        self.record(samples, 1);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>, iters: u64) {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = samples.len();
+        let median = if n == 0 {
+            0.0
+        } else if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        self.result = Some((median, n, iters));
+    }
+}
+
+/// The benchmark driver. Collects results; `criterion_main!` prints and
+/// optionally persists them.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+    json_path: Option<std::path::PathBuf>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+            json_path: std::env::var_os("CRITERION_JSON").map(Into::into),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process environment: `CRITERION_JSON`
+    /// names a JSON-lines output file; the first non-flag CLI argument
+    /// is a substring filter on benchmark names (as with criterion).
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            ..Criterion::default()
+        }
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let Some((median_ns, samples, iters_per_sample)) = bencher.result else {
+            return;
+        };
+        let result = BenchResult {
+            name,
+            median_ns,
+            samples,
+            iters_per_sample,
+        };
+        println!(
+            "bench {:<52} median {:>12}  ({} samples x {} iters)",
+            result.name,
+            humanize(result.median_ns),
+            result.samples,
+            result.iters_per_sample
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the summary and appends JSON lines to `CRITERION_JSON`
+    /// when set. Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("CRITERION_JSON file must be writable");
+        for r in &self.results {
+            writeln!(
+                file,
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                r.name, r.median_ns, r.samples, r.iters_per_sample
+            )
+            .expect("write bench json");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn humanize(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_env();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_a_positive_median() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..100 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_qualify_names_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results[0].name, "g/f");
+        assert!(c.results[0].samples <= 5);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 16],
+                |v| {
+                    v[0] = 1;
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.results.len(), 1);
+    }
+}

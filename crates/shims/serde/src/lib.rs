@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no access to crates.io, and nothing in the
+//! workspace serializes yet — the `#[derive(Serialize, Deserialize)]`
+//! markers document intent for a future persistence layer. This shim
+//! provides the two derive macros as no-ops so the annotations compile.
+//! Replace this path dependency with the real `serde` (and delete this
+//! crate) once a vendored registry is available; no source changes will
+//! be needed at the use sites.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -90,10 +90,24 @@ fn main() {
     let retry = SimDuration::from_secs(300);
     let span_end = end - SimDuration::hours(12);
     let naive = run_trials(
-        &job, &prices, od_price, &naive_timeline, retry, start, span_end, 100,
+        &job,
+        &prices,
+        od_price,
+        &naive_timeline,
+        retry,
+        start,
+        span_end,
+        100,
     );
     let informed = run_trials(
-        &job, &prices, od_price, &informed_timeline, retry, start, span_end, 100,
+        &job,
+        &prices,
+        od_price,
+        &informed_timeline,
+        retry,
+        start,
+        span_end,
+        100,
     );
 
     let revocations: u64 = naive.iter().map(|t| t.revocations).sum();

@@ -47,10 +47,6 @@ fn main() {
         db.spikes().len(),
         db.intervals().len()
     );
-    println!(
-        "probe spend: {} over {} simulated days",
-        db.total_cost(),
-        3
-    );
+    println!("probe spend: {} over {} simulated days", db.total_cost(), 3);
     println!("cloud time now: {}", cloud.now());
 }

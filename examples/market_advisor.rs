@@ -63,7 +63,10 @@ fn main() {
     let rates = query.spike_rates(&[0.5, 1.0, 2.0, 5.0], SimDuration::days(1));
     println!("observed spike rates per day:");
     for r in &rates {
-        println!("  >= {:.1}x od: {:.1} spikes/day", r.threshold, r.spikes_per_window);
+        println!(
+            "  >= {:.1}x od: {:.1} spikes/day",
+            r.threshold, r.spikes_per_window
+        );
     }
     let cost_per_probe = Price::from_dollars(0.3); // mean od price + fan-out overhead
     let budget = Price::from_dollars(5.0);

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records the benchmark medians of the perf-tracked suites into a JSON
+# snapshot (default: BENCH_PR<N>.json argument, e.g.
+# `scripts/bench_snapshot.sh BENCH_PR1.json`), so each PR's perf
+# trajectory is committed alongside the code.
+#
+# The criterion shim (crates/shims/criterion) appends one JSON line per
+# benchmark to $CRITERION_JSON; this script wraps those lines into a
+# single document with provenance.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_SNAPSHOT.json}"
+SUITES=(substrate store analysis policy)
+
+LINES="$(mktemp)"
+trap 'rm -f "$LINES"' EXIT
+
+for suite in "${SUITES[@]}"; do
+    echo ">> cargo bench --bench $suite" >&2
+    CRITERION_JSON="$LINES" cargo bench --bench "$suite"
+done
+
+{
+    echo '{'
+    echo "  \"generated_by\": \"scripts/bench_snapshot.sh\","
+    echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"suites\": [$(printf '"%s",' "${SUITES[@]}" | sed 's/,$//')],"
+    echo '  "benches": ['
+    sed 's/^/    /; $!s/$/,/' "$LINES"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT ($(grep -c median_ns "$OUT") benches)" >&2

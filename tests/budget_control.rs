@@ -64,7 +64,10 @@ fn windowed_budget_bounds_total_spend() {
         windows,
         limit
     );
-    assert!(s.suppressed_probes() > 0, "tight budget must suppress probes");
+    assert!(
+        s.suppressed_probes() > 0,
+        "tight budget must suppress probes"
+    );
 }
 
 #[test]
@@ -136,7 +139,11 @@ fn exhausted_windows_stop_probing_until_next_window() {
     // Probes must appear in more than one window (the budget resets).
     let mid = start + SimDuration::days(1);
     let early = s.probes().iter().filter(|p| p.at < mid).count();
-    let late = s.probes().iter().filter(|p| p.at >= mid && p.at < end).count();
+    let late = s
+        .probes()
+        .iter()
+        .filter(|p| p.at >= mid && p.at < end)
+        .count();
     assert!(early > 0, "first day should probe");
     assert!(late > 0, "budget must reset for the second day");
 }

@@ -13,7 +13,11 @@ use spotlight_core::query::SpotLightQuery;
 use spotlight_core::spotlight::SpotLight;
 use spotlight_core::store::{shared_store, SharedStore};
 
-fn run(days: u64, seed: u64, threshold: f64) -> (cloud_sim::cloud::Cloud, SharedStore, SimTime, SimTime) {
+fn run(
+    days: u64,
+    seed: u64,
+    threshold: f64,
+) -> (cloud_sim::cloud::Cloud, SharedStore, SimTime, SimTime) {
     let mut engine = Engine::new(Catalog::testbed(), SimConfig::paper(seed));
     engine.cloud_mut().warmup(50);
     let start = engine.cloud().now();

@@ -125,11 +125,7 @@ fn spot_unavailability_concentrates_at_low_prices() {
         return; // not enough trials on this seed/scale
     }
     let avg = |points: &[&spotlight_core::analysis::CurvePoint]| {
-        points
-            .iter()
-            .filter_map(|p| p.probability)
-            .sum::<f64>()
-            / points.len() as f64
+        points.iter().filter_map(|p| p.probability).sum::<f64>() / points.len() as f64
     };
     assert!(
         avg(&low) >= avg(&high),

@@ -14,13 +14,15 @@ use spotlight_core::store::DataStore;
 use spotlight_derivative::series::AvailabilityTimeline;
 
 fn any_market() -> impl Strategy<Value = MarketId> {
-    (0u8..2, prop_oneof![Just("c3.large"), Just("c3.xlarge"), Just("c3.2xlarge")]).prop_map(
-        |(az, ty)| MarketId {
+    (
+        0u8..2,
+        prop_oneof![Just("c3.large"), Just("c3.xlarge"), Just("c3.2xlarge")],
+    )
+        .prop_map(|(az, ty)| MarketId {
             az: Az::new(Region::UsEast1, az),
             instance_type: ty.parse().unwrap(),
             platform: Platform::LinuxUnix,
-        },
-    )
+        })
 }
 
 proptest! {
@@ -168,6 +170,175 @@ proptest! {
             match i.end {
                 Some(end) => prop_assert!(end >= i.start),
                 None => prop_assert!(open.insert((i.market, i.kind))),
+            }
+        }
+    }
+}
+
+// ---- store indices vs full-scan oracle --------------------------------
+//
+// The indexed store (per-market probe slices, per-(market, kind)
+// interval and rejection indices, running probe counters) must answer
+// exactly like a naive scan over the append-only log, on any insert
+// sequence — including out-of-order timestamps, which live mode can
+// produce.
+
+fn all_markets() -> Vec<MarketId> {
+    let mut v = Vec::new();
+    for az in 0u8..2 {
+        for ty in ["c3.large", "c3.xlarge", "c3.2xlarge"] {
+            v.push(MarketId {
+                az: Az::new(Region::UsEast1, az),
+                instance_type: ty.parse().unwrap(),
+                platform: Platform::LinuxUnix,
+            });
+        }
+    }
+    v
+}
+
+fn any_probe() -> impl Strategy<Value = ProbeRecord> {
+    (
+        any_market(),
+        prop_oneof![Just(ProbeKind::OnDemand), Just(ProbeKind::Spot),],
+        prop_oneof![
+            Just(ProbeOutcome::Fulfilled),
+            Just(ProbeOutcome::InsufficientCapacity),
+            Just(ProbeOutcome::CapacityNotAvailable),
+            Just(ProbeOutcome::PriceTooLow),
+            Just(ProbeOutcome::ApiLimited),
+        ],
+        0u64..50_000,
+    )
+        .prop_map(|(market, kind, outcome, t)| ProbeRecord {
+            at: SimTime::from_secs(t),
+            market,
+            kind,
+            trigger: ProbeTrigger::Recovery,
+            outcome,
+            spot_ratio: 0.5,
+            bid: None,
+            cost: Price::ZERO,
+        })
+}
+
+proptest! {
+    #[test]
+    fn indexed_probe_queries_agree_with_scan_oracle(
+        seq in proptest::collection::vec(any_probe(), 0..150),
+        from in 0u64..50_000,
+        width in 0u64..20_000,
+    ) {
+        let mut store = DataStore::new();
+        for p in &seq {
+            store.record_probe(*p);
+        }
+        let from = SimTime::from_secs(from);
+        let to = SimTime::from_secs(from.as_secs() + width);
+        for market in all_markets() {
+            // probes_of: same multiset as a full scan, sorted by time.
+            let indexed: Vec<SimTime> = store.probes_of(market).map(|p| p.at).collect();
+            let mut oracle: Vec<SimTime> = store
+                .probes()
+                .iter()
+                .filter(|p| p.market == market)
+                .map(|p| p.at)
+                .collect();
+            oracle.sort();
+            prop_assert_eq!(&indexed, &oracle, "probes_of({})", market);
+
+            // probes_between: binary-search range == scan filter.
+            let ranged: Vec<SimTime> =
+                store.probes_between(market, from, to).map(|p| p.at).collect();
+            let range_oracle: Vec<SimTime> = oracle
+                .iter()
+                .copied()
+                .filter(|&t| t >= from && t <= to)
+                .collect();
+            prop_assert_eq!(&ranged, &range_oracle, "probes_between({})", market);
+
+            for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
+                // rejection_times: sorted rejected-probe timestamps.
+                let mut rej_oracle: Vec<SimTime> = store
+                    .probes()
+                    .iter()
+                    .filter(|p| p.market == market && p.kind == kind
+                        && p.outcome.is_unavailable())
+                    .map(|p| p.at)
+                    .collect();
+                rej_oracle.sort();
+                prop_assert_eq!(
+                    store.rejection_times(market, kind).to_vec(),
+                    rej_oracle
+                );
+
+                // probe_stats: running counters == scan counts.
+                let stats = store.probe_stats(market, kind);
+                let informative = store
+                    .probes()
+                    .iter()
+                    .filter(|p| p.market == market && p.kind == kind
+                        && p.outcome.is_informative())
+                    .count() as u64;
+                let rejections = store
+                    .probes()
+                    .iter()
+                    .filter(|p| p.market == market && p.kind == kind
+                        && p.outcome.is_unavailable())
+                    .count() as u64;
+                prop_assert_eq!(stats.informative, informative);
+                prop_assert_eq!(stats.rejections, rejections);
+
+                // intervals_of: per-key index == full-log filter.
+                let by_index: Vec<(SimTime, Option<SimTime>)> = store
+                    .intervals_of(market, kind)
+                    .map(|i| (i.start, i.end))
+                    .collect();
+                let by_scan: Vec<(SimTime, Option<SimTime>)> = store
+                    .intervals()
+                    .iter()
+                    .filter(|i| i.market == market && i.kind == kind)
+                    .map(|i| (i.start, i.end))
+                    .collect();
+                prop_assert_eq!(by_index, by_scan);
+            }
+        }
+    }
+
+    #[test]
+    fn interval_bookkeeping_survives_indexing(
+        seq in proptest::collection::vec(any_probe(), 0..150),
+    ) {
+        // Time-ordered inserts: the engine's monotone case, where the
+        // open/close state machine semantics are well defined.
+        let mut sorted = seq;
+        sorted.sort_by_key(|p| p.at);
+        let mut store = DataStore::new();
+        for p in &sorted {
+            store.record_probe(*p);
+        }
+        // At most one open interval per key; closed ones are ordered.
+        let mut open = std::collections::HashSet::new();
+        for i in store.intervals() {
+            match i.end {
+                Some(end) => prop_assert!(end >= i.start),
+                None => prop_assert!(open.insert((i.market, i.kind))),
+            }
+        }
+        // is_unavailable reflects exactly the open set.
+        for market in all_markets() {
+            for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
+                prop_assert_eq!(
+                    store.is_unavailable(market, kind),
+                    open.contains(&(market, kind))
+                );
+                // An open interval is always the key's latest.
+                let intervals: Vec<_> = store.intervals_of(market, kind).collect();
+                for (pos, i) in intervals.iter().enumerate() {
+                    if i.end.is_none() {
+                        prop_assert_eq!(pos, intervals.len() - 1);
+                    }
+                }
             }
         }
     }
