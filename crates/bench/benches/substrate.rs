@@ -20,13 +20,38 @@ fn bench_tick(c: &mut Criterion) {
     });
     group.sample_size(10);
     group.bench_function("standard_catalog_tick_5184_markets", |b| {
-        let mut cloud = Cloud::new(Catalog::standard(), SimConfig::paper(1));
+        let mut config = SimConfig::paper(1);
+        config.threads = 1;
+        let mut cloud = Cloud::new(Catalog::standard(), config);
         cloud.warmup(5);
         b.iter(|| {
             cloud.tick();
             black_box(cloud.now());
         });
     });
+    group.finish();
+}
+
+/// The region-sharded fan-out at fixed worker counts over the full
+/// catalog. Results are identical at every setting (the determinism
+/// contract); only wall-clock time may differ, and only when the
+/// machine actually has that many cores.
+fn bench_tick_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let name = threads.to_string();
+        group.bench_function(&name, |b| {
+            let mut config = SimConfig::paper(1);
+            config.threads = threads;
+            let mut cloud = Cloud::new(Catalog::standard(), config);
+            cloud.warmup(5);
+            b.iter(|| {
+                cloud.tick();
+                black_box(cloud.now());
+            });
+        });
+    }
     group.finish();
 }
 
@@ -118,6 +143,7 @@ fn bench_probe_roundtrip(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tick,
+    bench_tick_threads,
     bench_tick_components,
     bench_clearing,
     bench_probe_roundtrip

@@ -127,7 +127,7 @@ pub struct SpotRequestInfo {
 
 impl Cloud {
     fn check_market(&self, market: MarketId) -> Result<(), ApiError> {
-        if self.market_index.contains_key(&market) {
+        if self.market_loc.contains_key(&market) {
             Ok(())
         } else {
             Err(ApiError::InvalidParameter(format!(
@@ -136,10 +136,17 @@ impl Cloud {
         }
     }
 
+    /// The shard serving `region`. Callers resolve the region from an
+    /// existing market or request, so the shard always exists.
+    fn region_shard_idx(&self, region: Region) -> usize {
+        self.shard_of_region[region.index()].expect("region resolved from a known market")
+    }
+
     fn consume_token(&mut self, region: Region) -> Result<(), ApiError> {
         let per_minute = self.config.limits.api_calls_per_minute_per_region;
         let now = self.now;
-        if self.region_api[region.index()].try_consume(now, per_minute) {
+        let si = self.region_shard_idx(region);
+        if self.shards[si].api.try_consume(now, per_minute) {
             Ok(())
         } else {
             Err(ApiError::RequestLimitExceeded { region })
@@ -163,14 +170,14 @@ impl Cloud {
         self.check_market(market)?;
         let region = market.region();
         self.consume_token(region)?;
-        if self.region_api[region.index()].od_running
-            >= self.config.limits.max_od_instances_per_region
-        {
+        // A pool's region is its markets' region, so the pool_loc pair
+        // serves both the limit check and the admission.
+        let (si, pi) = self.pool_loc[&market.pool()];
+        if self.shards[si].api.od_running >= self.config.limits.max_od_instances_per_region {
             return Err(ApiError::InstanceLimitExceeded { region });
         }
         let units = u64::from(market.instance_type.units());
-        let pi = self.pool_index[&market.pool()];
-        self.pools[pi]
+        self.shards[si].pools[pi]
             .pool
             .admit_od_external(units)
             .map_err(|_| ApiError::InsufficientInstanceCapacity { market })?;
@@ -191,7 +198,7 @@ impl Cloud {
                 state,
             },
         );
-        self.region_api[region.index()].od_running += 1;
+        self.shards[si].api.od_running += 1;
         Ok(id)
     }
 
@@ -217,8 +224,8 @@ impl Cloud {
         inst.state
             .transition(OdState::Terminated, now)
             .expect("shutting-down -> terminated is legal");
-        let pi = self.pool_index[&market.pool()];
-        self.pools[pi]
+        let (si, pi) = self.pool_loc[&market.pool()];
+        self.shards[si].pools[pi]
             .pool
             .release_od_external(u64::from(inst.units));
         let rate = self.catalog.od_price(market);
@@ -229,8 +236,8 @@ impl Cloud {
             now.saturating_since(inst.launched_at),
             rate,
         );
-        let r = market.region().index();
-        self.region_api[r].od_running = self.region_api[r].od_running.saturating_sub(1);
+        let api = &mut self.shards[si].api;
+        api.od_running = api.od_running.saturating_sub(1);
         Ok(charged)
     }
 
@@ -264,16 +271,17 @@ impl Cloud {
         }
         let region = market.region();
         self.consume_token(region)?;
-        if self.region_api[region.index()].spot_open
-            >= self.config.limits.max_spot_requests_per_region
-        {
+        let si = self.region_shard_idx(region);
+        if self.shards[si].api.spot_open >= self.config.limits.max_spot_requests_per_region {
             return Err(ApiError::SpotRequestLimitExceeded { region });
         }
 
         let id = self.fresh_request_id();
         let now = self.now;
         let units = market.instance_type.units();
-        self.spot_requests.insert(
+        let profile = &self.config.demand;
+        let shard = &mut self.shards[si];
+        shard.spot_requests.insert(
             id,
             SpotRequest {
                 id,
@@ -287,14 +295,16 @@ impl Cloud {
                 terminate_at: None,
             },
         );
-        self.active_spot.insert(id);
-        self.region_api[region.index()].spot_open += 1;
+        shard.active_spot.insert(id);
+        shard.api.spot_open += 1;
 
-        let outcome = self.evaluate_spot(market, bid, units);
+        let outcome = shard.evaluate_spot(profile, market, bid, units);
         let status = match outcome {
             SpotEval::Fulfill => {
-                let price = self.oracle_true_price(market).expect("market exists");
-                self.fulfil_spot(id, now, price);
+                let price = shard.markets[shard.market_index[&market]]
+                    .state
+                    .true_price();
+                shard.fulfil_spot(id, now, price);
                 SpotRequestState::Fulfilled
             }
             SpotEval::PriceTooLow => SpotRequestState::PriceTooLow,
@@ -302,12 +312,12 @@ impl Cloud {
             SpotEval::NotAvailable => SpotRequestState::CapacityNotAvailable,
         };
         if status != SpotRequestState::Fulfilled {
-            let req = self.spot_requests.get_mut(&id).expect("just inserted");
+            let req = shard.spot_requests.get_mut(&id).expect("just inserted");
             req.state
                 .transition(status, now)
                 .expect("pending-evaluation -> held is legal");
         }
-        let instance = self.spot_requests[&id].instance;
+        let instance = shard.spot_requests[&id].instance;
         Ok(SpotSubmission {
             id,
             status,
@@ -324,14 +334,13 @@ impl Cloud {
     ///   the instance with [`Cloud::terminate_spot_instance`] instead).
     /// * [`ApiError::RequestLimitExceeded`] — API rate limit.
     pub fn cancel_spot_request(&mut self, id: SpotRequestId) -> Result<(), ApiError> {
-        let market = self
-            .spot_requests
-            .get(&id)
-            .ok_or_else(|| ApiError::NotFound(format!("spot request {id}")))?
-            .market;
+        let (si, market) = self
+            .find_spot_request(id)
+            .ok_or_else(|| ApiError::NotFound(format!("spot request {id}")))?;
         self.consume_token(market.region())?;
         let now = self.now;
-        let req = self.spot_requests.get_mut(&id).expect("checked above");
+        let shard = &mut self.shards[si];
+        let req = shard.spot_requests.get_mut(&id).expect("checked above");
         let state = req.state.current();
         if !state.is_held() && state != SpotRequestState::PendingEvaluation {
             return Err(ApiError::InvalidState(format!(
@@ -341,8 +350,7 @@ impl Cloud {
         req.state
             .transition(SpotRequestState::CanceledBeforeFulfillment, now)
             .expect("held -> cancelled is legal");
-        let r = market.region().index();
-        self.region_api[r].spot_open = self.region_api[r].spot_open.saturating_sub(1);
+        shard.api.spot_open = shard.api.spot_open.saturating_sub(1);
         Ok(())
     }
 
@@ -356,14 +364,13 @@ impl Cloud {
     ///   instance.
     /// * [`ApiError::RequestLimitExceeded`] — API rate limit.
     pub fn terminate_spot_instance(&mut self, id: SpotRequestId) -> Result<Price, ApiError> {
-        let market = self
-            .spot_requests
-            .get(&id)
-            .ok_or_else(|| ApiError::NotFound(format!("spot request {id}")))?
-            .market;
+        let (si, market) = self
+            .find_spot_request(id)
+            .ok_or_else(|| ApiError::NotFound(format!("spot request {id}")))?;
         self.consume_token(market.region())?;
         let now = self.now;
-        let req = self.spot_requests.get_mut(&id).expect("checked above");
+        let shard = &mut self.shards[si];
+        let req = shard.spot_requests.get_mut(&id).expect("checked above");
         if !req.state.current().instance_running() {
             return Err(ApiError::InvalidState(format!(
                 "spot request {id} has no running instance"
@@ -375,8 +382,9 @@ impl Cloud {
         let units = u64::from(req.units);
         let launched = req.launched_at.expect("running instance has launch time");
         let rate = req.launch_price.expect("running instance has launch price");
-        let pi = self.pool_index[&market.pool()];
-        self.pools[pi].pool.release_spot_external(units);
+        let pi = shard.pool_index[&market.pool()];
+        shard.pools[pi].pool.release_spot_external(units);
+        shard.api.spot_open = shard.api.spot_open.saturating_sub(1);
         let charged = self.ledger.charge(
             now,
             market,
@@ -384,8 +392,6 @@ impl Cloud {
             now.saturating_since(launched),
             rate,
         );
-        let r = market.region().index();
-        self.region_api[r].spot_open = self.region_api[r].spot_open.saturating_sub(1);
         Ok(charged)
     }
 
@@ -399,13 +405,11 @@ impl Cloud {
         &mut self,
         id: SpotRequestId,
     ) -> Result<SpotRequestInfo, ApiError> {
-        let market = self
-            .spot_requests
-            .get(&id)
-            .ok_or_else(|| ApiError::NotFound(format!("spot request {id}")))?
-            .market;
+        let (si, market) = self
+            .find_spot_request(id)
+            .ok_or_else(|| ApiError::NotFound(format!("spot request {id}")))?;
         self.consume_token(market.region())?;
-        let req = &self.spot_requests[&id];
+        let req = &self.shards[si].spot_requests[&id];
         Ok(SpotRequestInfo {
             id,
             market,

@@ -5,22 +5,63 @@
 //! [`Cloud`] owns all dynamic state. Requests arrive through the API
 //! methods in [`crate::api`]; the engine (or any driver) calls
 //! [`Cloud::tick`] to advance time one demand step and then drains
-//! [`Cloud::take_events`] for what happened.
+//! [`Cloud::take_events`] (or, allocation-free,
+//! [`Cloud::drain_events_into`]) for what happened.
+//!
+//! # The region-sharded ownership model
+//!
+//! Pools, markets, demand processes, and spot requests partition cleanly
+//! by region: a pool's siblings live in the same region, demand spills
+//! only between sibling zones, region surges touch one region, and a
+//! spot request targets a single market. The cloud therefore stores all
+//! dynamic state in one [`RegionShard`] per catalog region. A shard owns
+//!
+//! * its pools and markets (with shard-local index vectors and lookup
+//!   maps — `PoolEntry::market_indices` and `MarketEntry::pool_idx` are
+//!   shard-local indices),
+//! * the region's demand process, API token bucket and service-limit
+//!   counters, and open spot requests,
+//! * its own [`SimRng`] stream, forked per region at construction, and
+//! * local output buffers: a `CloudEvent` buffer plus trace-op and
+//!   billing-charge buffers that cannot be written to the shared
+//!   [`TraceStore`]/[`Ledger`] mid-tick.
+//!
+//! [`Cloud::tick`] fans the shards out across `std::thread::scope`
+//! workers ([`crate::config::SimConfig::threads`]; `1` runs them inline
+//! with no spawned threads) and then merges every shard's buffered
+//! events, trace ops, and charges in ascending region order.
+//!
+//! # The determinism contract
+//!
+//! Same seed + same config ⇒ identical event stream, prices, traces,
+//! and billing **at any thread count**. This holds because (a) each
+//! shard only ever draws from its own RNG stream, in a fixed shard-local
+//! phase order, (b) shards never touch another shard's state during the
+//! parallel phase, and (c) the merge order is the fixed region order,
+//! not completion order. `threads` moves wall-clock time only. The
+//! `tests/determinism.rs` property test and
+//! `cloud::tests::tick_is_thread_count_invariant` guard this contract;
+//! keep any new tick-path randomness on the shard's stream and any new
+//! cross-shard output in a merged buffer.
 //!
 //! # The no-allocation tick contract
 //!
 //! `Cloud::tick` is the simulator's hot path: the repro experiments run
 //! it millions of times, so the steady-state tick performs **no heap
-//! allocation**. Concretely:
+//! allocation** (with `threads = 1`; higher settings pay the OS cost of
+//! scoped-thread spawning plus a worker-group vector per tick, which is
+//! the price of the parallel speedup).
+//! Concretely:
 //!
-//! * the demand profile and per-pool market indices are only *borrowed*
-//!   during a tick — never cloned (the borrow checker permits this
-//!   because each phase touches disjoint `Cloud` fields);
+//! * the demand profile, level grid, and per-pool market indices are
+//!   only *borrowed* during a tick — never cloned (shards receive a
+//!   shared [`TickCtx`] of read-only state);
 //! * static topology (pools per region, sibling pools, market indices)
 //!   is precomputed once in [`Cloud::new`];
-//! * per-tick working sets reuse scratch buffers owned by `Cloud`
+//! * per-tick working sets reuse scratch buffers owned by each shard
 //!   (`scratch` for bid-level masses, `request_scratch` for the active
-//!   spot-request sweep).
+//!   spot-request sweep), and the per-shard event/trace/charge buffers
+//!   keep their capacity across the per-tick drain.
 //!
 //! `events` and the per-request bookkeeping may still allocate when
 //! *new* work appears (an event is emitted, a request is admitted) —
@@ -31,9 +72,9 @@
 
 use crate::billing::{Ledger, UsageKind};
 use crate::catalog::Catalog;
-use crate::config::SimConfig;
+use crate::config::{DemandProfile, SimConfig};
 use crate::demand::{surge_weights, LevelGrid, MarketDemand, PoolDemand, RegionDemand, Surge};
-use crate::ids::{Family, InstanceId, MarketId, PoolId, Region, SpotRequestId};
+use crate::ids::{Family, InstanceId, MarketId, PoolId, SpotRequestId};
 use crate::lifecycle::{OdState, SpotRequestState, Tracked};
 use crate::market::{clear, MarketState};
 use crate::pool::CapacityPool;
@@ -110,6 +151,7 @@ pub(crate) struct PoolEntry {
     pub id: PoolId,
     pub pool: CapacityPool,
     pub demand: PoolDemand,
+    /// Shard-local indices of this pool's member markets.
     pub market_indices: Vec<usize>,
     /// Mean spot/od price ratio of member markets after the last tick.
     pub last_ratio: f64,
@@ -129,6 +171,7 @@ pub(crate) struct MarketEntry {
     pub id: MarketId,
     pub state: MarketState,
     pub demand: MarketDemand,
+    /// Shard-local index of the owning pool.
     pub pool_idx: usize,
     pub volatility: f64,
 }
@@ -206,348 +249,135 @@ impl RegionApiState {
     }
 }
 
-/// The simulated IaaS cloud.
-pub struct Cloud {
-    pub(crate) catalog: Catalog,
-    pub(crate) config: SimConfig,
-    pub(crate) now: SimTime,
-    pub(crate) pools: Vec<PoolEntry>,
-    pub(crate) markets: Vec<MarketEntry>,
-    pub(crate) pool_index: HashMap<PoolId, usize>,
-    pub(crate) market_index: HashMap<MarketId, usize>,
-    /// Pools of the same family in the same region, per pool.
-    pub(crate) sibling_pools: Vec<Vec<usize>>,
-    /// Pool indices per region (indexed by [`Region::index`]), so surge
-    /// spawning never rebuilds candidate lists on the tick path.
-    region_pools: Vec<Vec<usize>>,
-    /// Indices of regions with at least one pool; region-level demand
-    /// and surge draws skip absent regions entirely.
-    active_regions: Vec<usize>,
-    pub(crate) region_demand: Vec<RegionDemand>,
-    pub(crate) od_instances: HashMap<InstanceId, OdInstance>,
-    pub(crate) spot_requests: HashMap<SpotRequestId, SpotRequest>,
+/// High bit distinguishing spot instance ids (derived from their request
+/// id inside a shard, where the global id counter is unreachable) from
+/// sequentially allocated on-demand instance ids.
+const SPOT_INSTANCE_BIT: u64 = 1 << 63;
+
+/// First stream id of the per-region RNG streams (stream 0 is the root,
+/// 1 was the pre-sharding global demand stream).
+const REGION_STREAM_BASE: u64 = 2;
+
+/// Below this many markets, `threads = 0` (auto) resolves to `1`: a
+/// testbed-sized tick runs in a few microseconds, so per-tick scoped
+/// thread spawns would cost more than the whole tick. The full EC2
+/// catalog (5184 markets) is far above this. Explicit `threads` values
+/// are always honoured.
+const PARALLEL_AUTO_MIN_MARKETS: usize = 512;
+
+/// A buffered [`TraceStore`] write, applied at merge time because the
+/// store is shared across shards.
+#[derive(Debug, Clone, Copy)]
+enum TraceOp {
+    Price(MarketId, SimTime, Price),
+    ShortageStarted(PoolId, SimTime),
+    ShortageEnded(PoolId, SimTime),
+}
+
+/// A buffered [`Ledger`] charge, applied at merge time because the
+/// ledger is shared across shards.
+#[derive(Debug, Clone, Copy)]
+struct PendingCharge {
+    at: SimTime,
+    market: MarketId,
+    kind: UsageKind,
+    used: SimDuration,
+    rate: Price,
+}
+
+/// Read-only state every shard borrows during one tick.
+struct TickCtx<'a> {
+    config: &'a SimConfig,
+    level_grid: &'a LevelGrid,
+    surge_dist: &'a [f64],
+    trace: &'a TraceStore,
+    now: SimTime,
+    dt: SimDuration,
+}
+
+impl TickCtx<'_> {
+    fn profile(&self) -> &DemandProfile {
+        &self.config.demand
+    }
+}
+
+/// One region's slice of the cloud: every piece of dynamic state the
+/// tick loop touches for that region, plus the region's RNG stream and
+/// output buffers. See the module docs for the ownership model.
+pub(crate) struct RegionShard {
+    /// Dense [`crate::ids::Region::index`] of this shard.
+    pub region_idx: usize,
+    pub pools: Vec<PoolEntry>,
+    pub markets: Vec<MarketEntry>,
+    pub pool_index: HashMap<PoolId, usize>,
+    pub market_index: HashMap<MarketId, usize>,
+    /// Pools of the same family in this region, per pool (local indices).
+    pub sibling_pools: Vec<Vec<usize>>,
+    pub region_demand: RegionDemand,
+    pub api: RegionApiState,
+    pub spot_requests: HashMap<SpotRequestId, SpotRequest>,
     /// Non-terminal spot requests, re-evaluated every tick.
-    pub(crate) active_spot: BTreeSet<SpotRequestId>,
-    pub(crate) region_api: Vec<RegionApiState>,
-    pub(crate) ledger: Ledger,
-    pub(crate) trace: TraceStore,
-    pub(crate) rng: SimRng,
-    pub(crate) next_id: u64,
-    pub(crate) events: Vec<CloudEvent>,
-    surge_dist: Vec<f64>,
-    /// Precomputed normalized level profile and tilt basis.
-    level_grid: LevelGrid,
+    pub active_spot: BTreeSet<SpotRequestId>,
+    /// This region's RNG stream; every draw on the tick path happens
+    /// here, in shard-local phase order.
+    pub rng: SimRng,
+    /// Events emitted this tick, merged into [`Cloud::events`] in region
+    /// order after the parallel phase.
+    events: Vec<CloudEvent>,
+    /// Buffered trace writes (the `TraceStore` is shared).
+    trace_ops: Vec<TraceOp>,
+    /// Buffered ledger charges (the `Ledger` is shared).
+    charges: Vec<PendingCharge>,
     /// Reusable bid-level mass buffer for market clearing.
     scratch: Vec<f64>,
     /// Reusable request-id buffer for the per-tick spot-request sweep.
     request_scratch: Vec<SpotRequestId>,
 }
 
-impl std::fmt::Debug for Cloud {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cloud")
-            .field("now", &self.now)
-            .field("pools", &self.pools.len())
-            .field("markets", &self.markets.len())
-            .field("od_instances", &self.od_instances.len())
-            .field("spot_requests", &self.spot_requests.len())
-            .finish_non_exhaustive()
-    }
-}
-
-impl Cloud {
-    /// Creates a cloud over `catalog` with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`SimConfig::validate`].
-    pub fn new(catalog: Catalog, config: SimConfig) -> Self {
-        config.validate().expect("invalid simulation config");
-        let profile = &config.demand;
-        let mut rng = SimRng::seed_from(config.seed);
-
-        let mut pool_index = HashMap::new();
-        let mut market_index = HashMap::new();
-        let mut pools: Vec<PoolEntry> = Vec::with_capacity(catalog.pools().len());
-        let mut markets: Vec<MarketEntry> = Vec::with_capacity(catalog.markets().len());
-
-        for (i, &pid) in catalog.pools().iter().enumerate() {
-            pool_index.insert(pid, i);
-            let member_units = catalog.pool_member_units(pid) as f64;
-            let physical =
-                (profile.pool_scale * member_units * profile.family_pool_scale(pid.family))
-                    .round()
-                    .max(8.0) as u64;
-            let granted = (profile.reserved_fraction * physical as f64).round() as u64;
-            let pressure = profile.pool_pressure(pid);
-            let demand = PoolDemand::new(
-                physical - granted,
-                granted,
-                profile.family_volatility(pid.family),
-                pressure,
-                profile.region_phase(pid.az.region()),
-                profile,
-            );
-            pools.push(PoolEntry {
-                id: pid,
-                pool: CapacityPool::new(physical, granted),
-                demand,
-                market_indices: Vec::new(),
-                last_ratio: profile.level_multiples[0],
-                reclaim_until: SimTime::ZERO,
-                spill_next: 0.0,
-                shortage_open: false,
-                parked_until: SimTime::ZERO,
-            });
-        }
-
-        // Market weights: normalized within each pool.
-        let mut raw_weight: Vec<f64> = Vec::with_capacity(catalog.markets().len());
-        let mut pool_weight_sum: Vec<f64> = vec![0.0; pools.len()];
-        for &mid in catalog.markets() {
-            let w = profile.platform_weight(mid.platform)
-                * profile.size_weight(mid.instance_type.size());
-            let pi = pool_index[&mid.pool()];
-            raw_weight.push(w);
-            pool_weight_sum[pi] += w;
-        }
-
-        for (k, &mid) in catalog.markets().iter().enumerate() {
-            let pi = pool_index[&mid.pool()];
-            let weight = raw_weight[k] / pool_weight_sum[pi];
-            let pool = &pools[pi];
-            let physical = pool.pool.physical() as f64;
-            let granted = pool.pool.reserved_granted() as f64;
-            let od_cap = physical - granted;
-            let pressure = profile.pool_pressure(mid.pool());
-            let expected_supply = (physical
-                - profile.reserved_util_mean * granted
-                - (profile.od_base_util * pressure).min(1.0) * od_cap)
-                .max(0.05 * physical);
-            let units = mid.instance_type.units();
-            let base_mass =
-                (expected_supply * weight / units as f64) * profile.spot_demand_intensity;
-            let state = MarketState::new(
-                catalog.od_price(mid),
-                weight,
-                base_mass,
-                units,
-                profile.level_multiples[0],
-            );
-            market_index.insert(mid, markets.len());
-            pools[pi].market_indices.push(markets.len());
-            markets.push(MarketEntry {
-                id: mid,
-                state,
-                demand: MarketDemand::new(),
-                pool_idx: pi,
-                volatility: profile.family_volatility(mid.instance_type.family()),
-            });
-        }
-
-        // Sibling pools: same family, same region, different zone.
-        let mut by_region_family: HashMap<(Region, Family), Vec<usize>> = HashMap::new();
-        for (i, p) in pools.iter().enumerate() {
-            by_region_family
-                .entry((p.id.az.region(), p.id.family))
-                .or_default()
-                .push(i);
-        }
-        let sibling_pools: Vec<Vec<usize>> = pools
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                by_region_family[&(p.id.az.region(), p.id.family)]
-                    .iter()
-                    .copied()
-                    .filter(|&j| j != i)
-                    .collect()
-            })
-            .collect();
-
-        let mut region_pools: Vec<Vec<usize>> = vec![Vec::new(); 9];
-        for (i, p) in pools.iter().enumerate() {
-            region_pools[p.id.az.region().index()].push(i);
-        }
-        let active_regions: Vec<usize> = (0..9).filter(|&r| !region_pools[r].is_empty()).collect();
-
-        let surge_dist = surge_weights(
-            &profile.level_multiples,
-            0.85,
-            profile.surge_bid_decay,
-            profile.surge_bid_cap_share,
-        );
-        let n_levels = profile.level_multiples.len();
-        let level_grid = LevelGrid::new(profile);
-        let trace = TraceStore::new(config.record_all_prices);
-        let region_demand = vec![RegionDemand::new(); 9];
-        let region_api = (0..9).map(|_| RegionApiState::new()).collect();
-        let demand_rng = rng.fork(1);
-
-        Cloud {
-            catalog,
-            config,
-            now: SimTime::ZERO,
-            pools,
-            markets,
-            pool_index,
-            market_index,
-            sibling_pools,
-            region_pools,
-            active_regions,
-            region_demand,
-            od_instances: HashMap::new(),
+impl RegionShard {
+    fn new(region_idx: usize, rng: SimRng, n_levels: usize) -> Self {
+        RegionShard {
+            region_idx,
+            pools: Vec::new(),
+            markets: Vec::new(),
+            pool_index: HashMap::new(),
+            market_index: HashMap::new(),
+            sibling_pools: Vec::new(),
+            region_demand: RegionDemand::new(),
+            api: RegionApiState::new(),
             spot_requests: HashMap::new(),
             active_spot: BTreeSet::new(),
-            region_api,
-            ledger: Ledger::new(),
-            trace,
-            rng: demand_rng,
-            next_id: 1,
+            rng,
             events: Vec::new(),
-            surge_dist,
-            level_grid,
+            trace_ops: Vec::new(),
+            charges: Vec::new(),
             scratch: vec![0.0; n_levels],
             request_scratch: Vec::new(),
         }
     }
 
-    /// The current simulation time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// The catalog this cloud serves.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
-    }
-
-    /// The account ledger.
-    pub fn ledger(&self) -> &Ledger {
-        &self.ledger
-    }
-
-    /// The trace store (price histories, ground-truth shortages).
-    pub fn trace(&self) -> &TraceStore {
-        &self.trace
-    }
-
-    /// Starts recording the full price history of a market.
-    pub fn watch_market(&mut self, market: MarketId) {
-        self.trace.watch(market);
-    }
-
-    /// Drains the events accumulated since the last call.
-    pub fn take_events(&mut self) -> Vec<CloudEvent> {
-        std::mem::take(&mut self.events)
-    }
-
-    /// Runs `ticks` demand steps to move the system off its artificial
-    /// initial state before an experiment begins.
-    pub fn warmup(&mut self, ticks: u32) {
-        for _ in 0..ticks {
-            self.tick();
-        }
-        self.events.clear();
-    }
-
-    pub(crate) fn fresh_instance_id(&mut self) -> InstanceId {
-        let id = InstanceId(self.next_id);
-        self.next_id += 1;
-        id
-    }
-
-    pub(crate) fn fresh_request_id(&mut self) -> SpotRequestId {
-        let id = SpotRequestId(self.next_id);
-        self.next_id += 1;
-        id
-    }
-
-    // ---------------------------------------------------------------
-    // Oracle accessors (simulation-side ground truth; not part of the
-    // rate-limited API).
-    // ---------------------------------------------------------------
-
-    /// The true (instantaneous) clearing price of a market.
-    pub fn oracle_true_price(&self, market: MarketId) -> Option<Price> {
-        self.market_index
-            .get(&market)
-            .map(|&i| self.markets[i].state.true_price())
-    }
-
-    /// The currently published price of a market (no API token consumed).
-    pub fn oracle_published_price(&self, market: MarketId) -> Option<Price> {
-        self.market_index
-            .get(&market)
-            .map(|&i| self.markets[i].state.published_price())
-    }
-
-    /// Whether an on-demand request for this market would be admitted
-    /// right now (ground truth, no probe).
-    pub fn oracle_od_available(&self, market: MarketId) -> Option<bool> {
-        let &pi = self.pool_index.get(&market.pool())?;
-        let units = u64::from(market.instance_type.units());
-        Some(self.pools[pi].pool.check_od_admission(units).is_ok())
-    }
-
-    /// Ground-truth snapshot of a pool.
-    pub fn oracle_pool(&self, pool: PoolId) -> Option<crate::pool::PoolSnapshot> {
-        self.pool_index
-            .get(&pool)
-            .map(|&i| self.pools[i].pool.snapshot())
-    }
-
-    /// Number of markets simulated.
-    pub fn market_count(&self) -> usize {
-        self.markets.len()
-    }
-
-    /// Number of capacity pools simulated.
-    pub fn pool_count(&self) -> usize {
-        self.pools.len()
-    }
-
-    // ---------------------------------------------------------------
-    // The tick loop.
-    // ---------------------------------------------------------------
-
-    /// Advances the simulation one demand tick: publishes pending price
-    /// changes, updates demand, clears every market, spawns surges, and
-    /// processes spot revocations and held-request re-evaluation.
-    pub fn tick(&mut self) {
-        let dt = self.config.tick;
-        self.now += dt;
-        let now = self.now;
-
-        self.publish_due_prices(now);
-        self.update_region_demand();
-        self.update_pools(now);
-        self.clear_markets(now);
-        self.spawn_surges(now, dt);
-        self.process_spot_requests(now);
+    /// One full demand step for this region. Touches only shard-owned
+    /// state plus the read-only [`TickCtx`]; all shared-store writes go
+    /// to the shard's output buffers.
+    fn tick(&mut self, ctx: &TickCtx<'_>) {
+        self.publish_due_prices(ctx);
+        self.region_demand.tick(ctx.profile(), &mut self.rng);
+        self.update_pools(ctx);
+        self.clear_markets(ctx);
+        self.spawn_surges(ctx);
+        self.process_spot_requests(ctx);
         self.gc_terminal_requests();
     }
 
-    /// Benchmark hook: one market-clearing pass at the current time,
-    /// without advancing demand or request processing. Exists so the
-    /// substrate bench can isolate the clearing cost; not part of the
-    /// simulation API.
-    #[doc(hidden)]
-    pub fn bench_clear_markets(&mut self) {
-        self.clear_markets(self.now);
-    }
-
-    fn publish_due_prices(&mut self, now: SimTime) {
+    fn publish_due_prices(&mut self, ctx: &TickCtx<'_>) {
+        let now = ctx.now;
         for m in &mut self.markets {
             let previous = m.state.published_price();
             if let Some(price) = m.state.publish_due(now) {
                 let at = now; // published within the elapsed tick
-                self.trace.record_price(m.id, at, price);
+                if ctx.trace.is_watched(m.id) {
+                    self.trace_ops.push(TraceOp::Price(m.id, at, price));
+                }
                 self.events.push(CloudEvent::PriceChange {
                     market: m.id,
                     previous,
@@ -558,36 +388,25 @@ impl Cloud {
         }
     }
 
-    fn update_region_demand(&mut self) {
-        // Only regions the catalog actually offers get a demand process;
-        // absent regions would burn a normal draw per tick for state
-        // nobody reads.
-        for &r in &self.active_regions {
-            self.region_demand[r].tick(&self.config.demand, &mut self.rng);
-        }
-    }
-
-    fn update_pools(&mut self, now: SimTime) {
-        // Borrow the profile rather than cloning it: the loop only
-        // touches `pools`, `region_demand`, `sibling_pools`, `trace`,
-        // `events`, and `rng` — all fields disjoint from `config`.
-        let profile = &self.config.demand;
-        let warning = self.config.revocation_warning;
+    fn update_pools(&mut self, ctx: &TickCtx<'_>) {
+        let profile = ctx.profile();
+        let now = ctx.now;
+        let warning = ctx.config.revocation_warning;
+        let busy = self.region_demand.busy();
+        let aggressiveness = profile.park_region_aggressiveness[self.region_idx];
+        let dt_days = ctx.dt.as_secs() as f64 / 86_400.0;
         for i in 0..self.pools.len() {
             // Apply spill-in scheduled by siblings last tick.
             let spill = self.pools[i].spill_next;
             self.pools[i].spill_next = 0.0;
             self.pools[i].demand.spill_in += spill;
 
-            let region = self.pools[i].id.az.region();
-            let busy = self.region_demand[region.index()].busy();
             let targets = self.pools[i].demand.tick(now, profile, busy, &mut self.rng);
 
             // Parking: a persistent capacity-withholding state the
             // operator enters during low-price regimes (§5.3) and leaves
             // after a lognormal-distributed episode.
             let ratio = self.pools[i].last_ratio;
-            let aggressiveness = profile.park_region_aggressiveness[region.index()];
             if now >= self.pools[i].parked_until
                 && ratio < profile.park_ratio_hi
                 && aggressiveness > 0.0
@@ -595,7 +414,6 @@ impl Cloud {
                 let rate = profile.park_enter_rate_per_day
                     * aggressiveness
                     * (1.0 - ratio / profile.park_ratio_hi);
-                let dt_days = self.config.tick.as_secs() as f64 / 86_400.0;
                 if self.rng.chance(rate * dt_days) {
                     let dur = self
                         .rng
@@ -630,14 +448,16 @@ impl Cloud {
             let short = self.pools[i].pool.od_shortage();
             if short && !self.pools[i].shortage_open {
                 self.pools[i].shortage_open = true;
-                self.trace.shortage_started(self.pools[i].id, now);
+                self.trace_ops
+                    .push(TraceOp::ShortageStarted(self.pools[i].id, now));
                 self.events.push(CloudEvent::PoolShortageStarted {
                     pool: self.pools[i].id,
                     at: now,
                 });
             } else if !short && self.pools[i].shortage_open {
                 self.pools[i].shortage_open = false;
-                self.trace.shortage_ended(self.pools[i].id, now);
+                self.trace_ops
+                    .push(TraceOp::ShortageEnded(self.pools[i].id, now));
                 self.events.push(CloudEvent::PoolShortageEnded {
                     pool: self.pools[i].id,
                     at: now,
@@ -656,13 +476,10 @@ impl Cloud {
         }
     }
 
-    fn clear_markets(&mut self, now: SimTime) {
-        // Like `update_pools`, this borrows the profile and each pool's
-        // market-index list in place: `pools` is only read while
-        // `markets`, `rng`, and `scratch` are written, so nothing needs
-        // to be cloned per tick.
-        let profile = &self.config.demand;
-        let (lag_lo, lag_hi) = self.config.price_lag_secs;
+    fn clear_markets(&mut self, ctx: &TickCtx<'_>) {
+        let profile = ctx.profile();
+        let now = ctx.now;
+        let (lag_lo, lag_hi) = ctx.config.price_lag_secs;
         let multiples = &profile.level_multiples;
 
         for pi in 0..self.pools.len() {
@@ -675,9 +492,9 @@ impl Cloud {
                 let m = &mut self.markets[mi];
                 m.demand.tick(now, profile, &mut self.rng);
                 m.demand.level_masses_into(
-                    &self.level_grid,
+                    ctx.level_grid,
                     m.state.base_mass,
-                    &self.surge_dist,
+                    ctx.surge_dist,
                     &mut self.scratch,
                 );
                 let supply_m = supply_units * m.state.weight / m.state.units as f64;
@@ -708,9 +525,10 @@ impl Cloud {
         }
     }
 
-    fn spawn_surges(&mut self, now: SimTime, dt: SimDuration) {
-        let profile = &self.config.demand;
-        let dt_days = dt.as_secs() as f64 / 86_400.0;
+    fn spawn_surges(&mut self, ctx: &TickCtx<'_>) {
+        let profile = ctx.profile();
+        let now = ctx.now;
+        let dt_days = ctx.dt.as_secs() as f64 / 86_400.0;
 
         // Zone-local pool surges: rare, heavy-tailed, uncorrelated.
         for i in 0..self.pools.len() {
@@ -741,41 +559,38 @@ impl Cloud {
         }
 
         // Region-wide family surges: moderate, correlated across zones.
-        for &ri in &self.active_regions {
-            let pressure = profile.region_pressure[ri];
+        // The shard *is* the region, so every local pool is a candidate.
+        if !self.pools.is_empty() {
+            let pressure = profile.region_pressure[self.region_idx];
             let rate =
                 profile.region_surge_rate_per_day * pressure.powf(profile.surge_rate_pressure_exp);
-            if !self.rng.chance(rate * dt_days) {
-                continue;
-            }
-            // Pick a family actually offered in this region, using the
-            // region→pool index built at construction.
-            let candidates = &self.region_pools[ri];
-            let anchor = candidates[self.rng.uniform_usize(0, candidates.len())];
-            let family = self.pools[anchor].id.family;
-            let base_mag = (self
-                .rng
-                .pareto(profile.surge_magnitude_scale, profile.surge_magnitude_alpha)
-                * profile.region_surge_attenuation
-                * pressure.powf(profile.surge_magnitude_pressure_exp))
-            .min(profile.surge_magnitude_cap);
-            let duration = self
-                .rng
-                .lognormal_median(
-                    profile.surge_duration_median_secs,
-                    profile.surge_duration_sigma,
-                )
-                .max(60.0) as u64;
-            for &i in candidates {
-                if self.pools[i].id.family != family {
-                    continue;
+            if self.rng.chance(rate * dt_days) {
+                let anchor = self.rng.uniform_usize(0, self.pools.len());
+                let family = self.pools[anchor].id.family;
+                let base_mag = (self
+                    .rng
+                    .pareto(profile.surge_magnitude_scale, profile.surge_magnitude_alpha)
+                    * profile.region_surge_attenuation
+                    * pressure.powf(profile.surge_magnitude_pressure_exp))
+                .min(profile.surge_magnitude_cap);
+                let duration = self
+                    .rng
+                    .lognormal_median(
+                        profile.surge_duration_median_secs,
+                        profile.surge_duration_sigma,
+                    )
+                    .max(60.0) as u64;
+                for i in 0..self.pools.len() {
+                    if self.pools[i].id.family != family {
+                        continue;
+                    }
+                    let jitter = self.rng.uniform_range(0.6, 1.4);
+                    let dj = (duration as f64 * self.rng.uniform_range(0.8, 1.2)) as u64;
+                    self.pools[i].demand.add_surge(Surge {
+                        magnitude: base_mag * jitter,
+                        ends_at: now + SimDuration::from_secs(dj),
+                    });
                 }
-                let jitter = self.rng.uniform_range(0.6, 1.4);
-                let dj = (duration as f64 * self.rng.uniform_range(0.8, 1.2)) as u64;
-                self.pools[i].demand.add_surge(Surge {
-                    magnitude: base_mag * jitter,
-                    ends_at: now + SimDuration::from_secs(dj),
-                });
             }
         }
 
@@ -805,8 +620,9 @@ impl Cloud {
     }
 
     /// Revocations, reclaim terminations, and held-request re-evaluation.
-    fn process_spot_requests(&mut self, now: SimTime) {
-        let warning = self.config.revocation_warning;
+    fn process_spot_requests(&mut self, ctx: &TickCtx<'_>) {
+        let now = ctx.now;
+        let warning = ctx.config.revocation_warning;
         // Reuse the sweep buffer instead of collecting a fresh Vec, and
         // read everything a dispatch decision needs in ONE map lookup.
         let mut ids = std::mem::take(&mut self.request_scratch);
@@ -843,7 +659,7 @@ impl Cloud {
                     self.finish_revocation(id, now);
                 }
                 s if s.is_held() => {
-                    self.reevaluate_held(id, now);
+                    self.reevaluate_held(id, now, ctx.profile());
                 }
                 _ => {}
             }
@@ -852,7 +668,7 @@ impl Cloud {
     }
 
     /// Completes a price revocation: frees capacity, bills (partial hour
-    /// free), and emits the termination event.
+    /// free) via the charge buffer, and emits the termination event.
     fn finish_revocation(&mut self, id: SpotRequestId, now: SimTime) {
         let req = self.spot_requests.get_mut(&id).expect("present");
         req.state
@@ -866,17 +682,14 @@ impl Cloud {
             .expect("fulfilled request has launch price");
         let pi = self.pool_index[&market.pool()];
         self.pools[pi].pool.release_spot_external(units);
-        self.ledger.charge(
-            now,
+        self.charges.push(PendingCharge {
+            at: now,
             market,
-            UsageKind::SpotRevoked,
-            now.saturating_since(launched),
+            kind: UsageKind::SpotRevoked,
+            used: now.saturating_since(launched),
             rate,
-        );
-        self.region_api[market.region().index()].spot_open = self.region_api
-            [market.region().index()]
-        .spot_open
-        .saturating_sub(1);
+        });
+        self.api.spot_open = self.api.spot_open.saturating_sub(1);
         self.events.push(CloudEvent::SpotTerminatedByPrice {
             request: id,
             market,
@@ -885,12 +698,12 @@ impl Cloud {
     }
 
     /// Re-evaluates a held spot request against current conditions.
-    fn reevaluate_held(&mut self, id: SpotRequestId, now: SimTime) {
+    fn reevaluate_held(&mut self, id: SpotRequestId, now: SimTime, profile: &DemandProfile) {
         let (market, bid, units, old_state) = {
             let r = &self.spot_requests[&id];
             (r.market, r.bid, r.units, r.state.current())
         };
-        let outcome = self.evaluate_spot(market, bid, units);
+        let outcome = self.evaluate_spot(profile, market, bid, units);
         let new_state = match outcome {
             SpotEval::Fulfill => SpotRequestState::Fulfilled,
             SpotEval::PriceTooLow => SpotRequestState::PriceTooLow,
@@ -918,7 +731,10 @@ impl Cloud {
     }
 
     /// Executes fulfilment: occupies the pool (displacing background spot
-    /// capacity if needed) and launches the instance.
+    /// capacity if needed) and launches the instance. The instance id is
+    /// derived from the request id (each request launches at most one
+    /// instance), so fulfilment inside the parallel phase needs no shared
+    /// id counter.
     pub(crate) fn fulfil_spot(&mut self, id: SpotRequestId, now: SimTime, price: Price) {
         let (market, units) = {
             let r = &self.spot_requests[&id];
@@ -933,7 +749,7 @@ impl Cloud {
             let admitted = pool.admit_spot_external(units);
             debug_assert!(admitted, "displacement must free enough room");
         }
-        let instance = self.fresh_instance_id();
+        let instance = InstanceId(id.0 | SPOT_INSTANCE_BIT);
         let req = self.spot_requests.get_mut(&id).expect("present");
         req.state
             .transition(SpotRequestState::Fulfilled, now)
@@ -945,10 +761,16 @@ impl Cloud {
 
     /// Evaluates a spot request against the current market state without
     /// mutating anything.
-    pub(crate) fn evaluate_spot(&self, market: MarketId, bid: Price, units: u32) -> SpotEval {
+    pub(crate) fn evaluate_spot(
+        &self,
+        profile: &DemandProfile,
+        market: MarketId,
+        bid: Price,
+        units: u32,
+    ) -> SpotEval {
         let mi = self.market_index[&market];
         let m = &self.markets[mi];
-        let floor = m.state.floor_price(self.config.demand.level_multiples[0]);
+        let floor = m.state.floor_price(profile.level_multiples[0]);
         let price = m.state.true_price();
         if bid < price.max(floor) {
             return SpotEval::PriceTooLow;
@@ -997,6 +819,480 @@ impl Cloud {
     }
 }
 
+/// The simulated IaaS cloud.
+pub struct Cloud {
+    pub(crate) catalog: Catalog,
+    pub(crate) config: SimConfig,
+    pub(crate) now: SimTime,
+    /// One shard per catalog region, ascending by [`crate::ids::Region::index`] —
+    /// the fixed merge order of the determinism contract.
+    pub(crate) shards: Vec<RegionShard>,
+    /// Shard index per region (`None` for regions the catalog omits).
+    pub(crate) shard_of_region: [Option<usize>; 9],
+    /// Market id → (shard index, shard-local market index).
+    pub(crate) market_loc: HashMap<MarketId, (usize, usize)>,
+    /// Pool id → (shard index, shard-local pool index).
+    pub(crate) pool_loc: HashMap<PoolId, (usize, usize)>,
+    pub(crate) od_instances: HashMap<InstanceId, OdInstance>,
+    pub(crate) ledger: Ledger,
+    pub(crate) trace: TraceStore,
+    pub(crate) next_id: u64,
+    /// Events merged from all shards, in region order, since the last
+    /// drain.
+    pub(crate) events: Vec<CloudEvent>,
+    surge_dist: Vec<f64>,
+    /// Precomputed normalized level profile and tilt basis.
+    level_grid: LevelGrid,
+    /// Resolved worker count (config `threads`, with `0` resolved at
+    /// construction to the machine's available parallelism — or to `1`
+    /// when the catalog is too small for fan-out to pay).
+    threads: usize,
+    /// Worker-group index per shard: a longest-processing-time balance
+    /// over shard market counts, fixed at construction. Scheduling only
+    /// — results never depend on the grouping.
+    group_of_shard: Vec<usize>,
+}
+
+impl std::fmt::Debug for Cloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cloud")
+            .field("now", &self.now)
+            .field("shards", &self.shards.len())
+            .field("pools", &self.pool_count())
+            .field("markets", &self.market_count())
+            .field("od_instances", &self.od_instances.len())
+            .field("spot_requests", &self.spot_request_count())
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cloud {
+    /// Creates a cloud over `catalog` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(catalog: Catalog, config: SimConfig) -> Self {
+        config.validate().expect("invalid simulation config");
+        let profile = &config.demand;
+        let mut rng = SimRng::seed_from(config.seed);
+        // One stream per region, split in canonical region order so a
+        // region's stream depends only on the seed.
+        let region_streams = rng.fork_streams(REGION_STREAM_BASE, 9);
+        let n_levels = profile.level_multiples.len();
+
+        let mut region_has_pool = [false; 9];
+        for &pid in catalog.pools() {
+            region_has_pool[pid.az.region().index()] = true;
+        }
+        let mut shards: Vec<RegionShard> = Vec::new();
+        let mut shard_of_region = [None; 9];
+        for (r, stream) in region_streams.into_iter().enumerate() {
+            if region_has_pool[r] {
+                shard_of_region[r] = Some(shards.len());
+                shards.push(RegionShard::new(r, stream, n_levels));
+            }
+        }
+
+        let mut pool_loc: HashMap<PoolId, (usize, usize)> = HashMap::new();
+        for &pid in catalog.pools() {
+            let si = shard_of_region[pid.az.region().index()].expect("pool region is active");
+            let shard = &mut shards[si];
+            let member_units = catalog.pool_member_units(pid) as f64;
+            let physical =
+                (profile.pool_scale * member_units * profile.family_pool_scale(pid.family))
+                    .round()
+                    .max(8.0) as u64;
+            let granted = (profile.reserved_fraction * physical as f64).round() as u64;
+            let pressure = profile.pool_pressure(pid);
+            let demand = PoolDemand::new(
+                physical - granted,
+                granted,
+                profile.family_volatility(pid.family),
+                pressure,
+                profile.region_phase(pid.az.region()),
+                profile,
+            );
+            let li = shard.pools.len();
+            pool_loc.insert(pid, (si, li));
+            shard.pool_index.insert(pid, li);
+            shard.pools.push(PoolEntry {
+                id: pid,
+                pool: CapacityPool::new(physical, granted),
+                demand,
+                market_indices: Vec::new(),
+                last_ratio: profile.level_multiples[0],
+                reclaim_until: SimTime::ZERO,
+                spill_next: 0.0,
+                shortage_open: false,
+                parked_until: SimTime::ZERO,
+            });
+        }
+
+        // Market weights: normalized within each pool. First pass
+        // accumulates raw weights per shard (in shard market order).
+        let mut raw_weight: Vec<Vec<f64>> = vec![Vec::new(); shards.len()];
+        let mut pool_weight_sum: Vec<Vec<f64>> =
+            shards.iter().map(|s| vec![0.0; s.pools.len()]).collect();
+        for &mid in catalog.markets() {
+            let (si, pi) = pool_loc[&mid.pool()];
+            let w = profile.platform_weight(mid.platform)
+                * profile.size_weight(mid.instance_type.size());
+            raw_weight[si].push(w);
+            pool_weight_sum[si][pi] += w;
+        }
+
+        let mut market_loc: HashMap<MarketId, (usize, usize)> = HashMap::new();
+        for &mid in catalog.markets() {
+            let (si, pi) = pool_loc[&mid.pool()];
+            let shard = &mut shards[si];
+            let li = shard.markets.len();
+            let weight = raw_weight[si][li] / pool_weight_sum[si][pi];
+            let pool = &shard.pools[pi];
+            let physical = pool.pool.physical() as f64;
+            let granted = pool.pool.reserved_granted() as f64;
+            let od_cap = physical - granted;
+            let pressure = profile.pool_pressure(mid.pool());
+            let expected_supply = (physical
+                - profile.reserved_util_mean * granted
+                - (profile.od_base_util * pressure).min(1.0) * od_cap)
+                .max(0.05 * physical);
+            let units = mid.instance_type.units();
+            let base_mass =
+                (expected_supply * weight / units as f64) * profile.spot_demand_intensity;
+            let state = MarketState::new(
+                catalog.od_price(mid),
+                weight,
+                base_mass,
+                units,
+                profile.level_multiples[0],
+            );
+            market_loc.insert(mid, (si, li));
+            shard.market_index.insert(mid, li);
+            shard.pools[pi].market_indices.push(li);
+            shard.markets.push(MarketEntry {
+                id: mid,
+                state,
+                demand: MarketDemand::new(),
+                pool_idx: pi,
+                volatility: profile.family_volatility(mid.instance_type.family()),
+            });
+        }
+
+        // Sibling pools: same family, different zone — same region by
+        // construction, so siblings are always shard-local.
+        for shard in &mut shards {
+            let mut by_family: HashMap<Family, Vec<usize>> = HashMap::new();
+            for (i, p) in shard.pools.iter().enumerate() {
+                by_family.entry(p.id.family).or_default().push(i);
+            }
+            shard.sibling_pools = shard
+                .pools
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    by_family[&p.id.family]
+                        .iter()
+                        .copied()
+                        .filter(|&j| j != i)
+                        .collect()
+                })
+                .collect();
+        }
+
+        let surge_dist = surge_weights(
+            &profile.level_multiples,
+            0.85,
+            profile.surge_bid_decay,
+            profile.surge_bid_cap_share,
+        );
+        let level_grid = LevelGrid::new(profile);
+        let trace = TraceStore::new(config.record_all_prices);
+        let market_total: usize = shards.iter().map(|s| s.markets.len()).sum();
+        let threads = match config.threads {
+            // Auto: parallelism pays only when each worker gets enough
+            // markets to outweigh the per-tick spawn cost, so small
+            // catalogs (the testbed, unit-test fixtures) stay inline.
+            // An explicit `threads` setting is always honoured.
+            0 if market_total < PARALLEL_AUTO_MIN_MARKETS => 1,
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+
+        // Longest-processing-time assignment of shards to workers: the
+        // heaviest regions (us-east-1 dominates real catalogs) land on
+        // the least-loaded worker, so the parallel phase's critical path
+        // is balanced rather than whatever a contiguous split yields.
+        let workers = threads.min(shards.len()).max(1);
+        let mut group_of_shard = vec![0usize; shards.len()];
+        if workers > 1 {
+            let mut order: Vec<usize> = (0..shards.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(shards[i].markets.len()));
+            let mut load = vec![0usize; workers];
+            for i in order {
+                let g = (0..workers).min_by_key(|&g| load[g]).expect("workers > 0");
+                group_of_shard[i] = g;
+                load[g] += shards[i].markets.len().max(1);
+            }
+        }
+
+        Cloud {
+            catalog,
+            config,
+            now: SimTime::ZERO,
+            shards,
+            shard_of_region,
+            market_loc,
+            pool_loc,
+            od_instances: HashMap::new(),
+            ledger: Ledger::new(),
+            trace,
+            next_id: 1,
+            events: Vec::new(),
+            surge_dist,
+            level_grid,
+            threads,
+            group_of_shard,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The catalog this cloud serves.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The resolved tick worker count (`config.threads`, with `0`
+    /// resolved to the machine's available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The account ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The trace store (price histories, ground-truth shortages).
+    pub fn trace(&self) -> &TraceStore {
+        &self.trace
+    }
+
+    /// Starts recording the full price history of a market.
+    pub fn watch_market(&mut self, market: MarketId) {
+        self.trace.watch(market);
+    }
+
+    /// Drains the events accumulated since the last call.
+    ///
+    /// Allocates a fresh `Vec` per call; tick-loop drivers should prefer
+    /// [`Cloud::drain_events_into`], which recycles a caller-owned
+    /// buffer.
+    pub fn take_events(&mut self) -> Vec<CloudEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains the accumulated events into `out` (cleared first) by
+    /// swapping buffers: `out`'s old allocation becomes the cloud's next
+    /// accumulation buffer, so a steady-state drive loop ping-pongs two
+    /// buffers and never reallocates, even under event churn.
+    pub fn drain_events_into(&mut self, out: &mut Vec<CloudEvent>) {
+        out.clear();
+        std::mem::swap(out, &mut self.events);
+    }
+
+    /// Runs `ticks` demand steps to move the system off its artificial
+    /// initial state before an experiment begins.
+    pub fn warmup(&mut self, ticks: u32) {
+        for _ in 0..ticks {
+            self.tick();
+        }
+        self.events.clear();
+    }
+
+    pub(crate) fn fresh_instance_id(&mut self) -> InstanceId {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    pub(crate) fn fresh_request_id(&mut self) -> SpotRequestId {
+        let id = SpotRequestId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// The shard holding `id`, if the request is still tracked. Shards
+    /// are per-region, so this scans at most nine hash maps — fine for
+    /// the (rate-limited) API paths that look requests up by id.
+    pub(crate) fn find_spot_request(&self, id: SpotRequestId) -> Option<(usize, MarketId)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(si, s)| s.spot_requests.get(&id).map(|r| (si, r.market)))
+    }
+
+    /// All pool entries across shards, in region order.
+    #[cfg(test)]
+    pub(crate) fn iter_pool_entries(&self) -> impl Iterator<Item = &PoolEntry> {
+        self.shards.iter().flat_map(|s| s.pools.iter())
+    }
+
+    // ---------------------------------------------------------------
+    // Oracle accessors (simulation-side ground truth; not part of the
+    // rate-limited API).
+    // ---------------------------------------------------------------
+
+    /// The true (instantaneous) clearing price of a market.
+    pub fn oracle_true_price(&self, market: MarketId) -> Option<Price> {
+        self.market_loc
+            .get(&market)
+            .map(|&(si, mi)| self.shards[si].markets[mi].state.true_price())
+    }
+
+    /// The currently published price of a market (no API token consumed).
+    pub fn oracle_published_price(&self, market: MarketId) -> Option<Price> {
+        self.market_loc
+            .get(&market)
+            .map(|&(si, mi)| self.shards[si].markets[mi].state.published_price())
+    }
+
+    /// Whether an on-demand request for this market would be admitted
+    /// right now (ground truth, no probe).
+    pub fn oracle_od_available(&self, market: MarketId) -> Option<bool> {
+        let &(si, pi) = self.pool_loc.get(&market.pool())?;
+        let units = u64::from(market.instance_type.units());
+        Some(
+            self.shards[si].pools[pi]
+                .pool
+                .check_od_admission(units)
+                .is_ok(),
+        )
+    }
+
+    /// Ground-truth snapshot of a pool.
+    pub fn oracle_pool(&self, pool: PoolId) -> Option<crate::pool::PoolSnapshot> {
+        self.pool_loc
+            .get(&pool)
+            .map(|&(si, pi)| self.shards[si].pools[pi].pool.snapshot())
+    }
+
+    /// Number of markets simulated.
+    pub fn market_count(&self) -> usize {
+        self.shards.iter().map(|s| s.markets.len()).sum()
+    }
+
+    /// Number of capacity pools simulated.
+    pub fn pool_count(&self) -> usize {
+        self.shards.iter().map(|s| s.pools.len()).sum()
+    }
+
+    /// Number of open (non-garbage-collected) spot requests.
+    pub fn spot_request_count(&self) -> usize {
+        self.shards.iter().map(|s| s.spot_requests.len()).sum()
+    }
+
+    // ---------------------------------------------------------------
+    // The tick loop.
+    // ---------------------------------------------------------------
+
+    /// Advances the simulation one demand tick: publishes pending price
+    /// changes, updates demand, clears every market, spawns surges, and
+    /// processes spot revocations and held-request re-evaluation — per
+    /// region shard, fanned out across up to `threads` workers, with
+    /// shard outputs merged in fixed region order (see the module docs
+    /// for the determinism contract).
+    pub fn tick(&mut self) {
+        let dt = self.config.tick;
+        self.now += dt;
+        let ctx = TickCtx {
+            config: &self.config,
+            level_grid: &self.level_grid,
+            surge_dist: &self.surge_dist,
+            trace: &self.trace,
+            now: self.now,
+            dt,
+        };
+        let workers = self.threads.min(self.shards.len()).max(1);
+        if workers <= 1 {
+            for shard in &mut self.shards {
+                shard.tick(&ctx);
+            }
+        } else {
+            // Distribute shards by the precomputed load-balanced
+            // grouping, one scoped worker per non-empty group.
+            let mut groups: Vec<Vec<&mut RegionShard>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                groups[self.group_of_shard[i]].push(shard);
+            }
+            let ctx = &ctx;
+            std::thread::scope(|s| {
+                for group in groups {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    s.spawn(move || {
+                        for shard in group {
+                            shard.tick(ctx);
+                        }
+                    });
+                }
+            });
+        }
+        self.merge_shard_outputs();
+    }
+
+    /// Benchmark hook: one market-clearing pass at the current time,
+    /// without advancing demand or request processing. Exists so the
+    /// substrate bench can isolate the (single-threaded) clearing cost;
+    /// not part of the simulation API.
+    #[doc(hidden)]
+    pub fn bench_clear_markets(&mut self) {
+        let ctx = TickCtx {
+            config: &self.config,
+            level_grid: &self.level_grid,
+            surge_dist: &self.surge_dist,
+            trace: &self.trace,
+            now: self.now,
+            dt: self.config.tick,
+        };
+        for shard in &mut self.shards {
+            shard.clear_markets(&ctx);
+        }
+    }
+
+    /// Applies every shard's buffered events, trace writes, and ledger
+    /// charges, in ascending region order — the single deterministic
+    /// serialization point of the parallel tick.
+    fn merge_shard_outputs(&mut self) {
+        for shard in &mut self.shards {
+            self.events.append(&mut shard.events);
+            for op in shard.trace_ops.drain(..) {
+                match op {
+                    TraceOp::Price(market, at, price) => self.trace.record_price(market, at, price),
+                    TraceOp::ShortageStarted(pool, at) => self.trace.shortage_started(pool, at),
+                    TraceOp::ShortageEnded(pool, at) => self.trace.shortage_ended(pool, at),
+                }
+            }
+            for c in shard.charges.drain(..) {
+                self.ledger.charge(c.at, c.market, c.kind, c.used, c.rate);
+            }
+        }
+    }
+}
+
 /// Outcome of evaluating a spot request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum SpotEval {
@@ -1025,6 +1321,11 @@ mod tests {
         for &m in c.catalog().markets() {
             assert!(c.oracle_true_price(m).is_some());
         }
+        // Shards cover exactly the catalog's regions, ascending.
+        let regions: Vec<usize> = c.shards.iter().map(|s| s.region_idx).collect();
+        let mut sorted = regions.clone();
+        sorted.sort_unstable();
+        assert_eq!(regions, sorted, "shards must be in region order");
     }
 
     #[test]
@@ -1066,7 +1367,7 @@ mod tests {
         let mut c = Cloud::new(Catalog::testbed(), config);
         for _ in 0..500 {
             c.tick();
-            for p in &c.pools {
+            for p in c.iter_pool_entries() {
                 assert!(p.pool.invariants_hold(), "pool {} broke invariants", p.id);
             }
         }
@@ -1123,5 +1424,49 @@ mod tests {
         let mut c = quiet_cloud();
         c.warmup(10);
         assert!(c.take_events().is_empty());
+    }
+
+    #[test]
+    fn drain_events_into_recycles_the_buffer() {
+        let mut config = SimConfig::paper(13);
+        config.record_all_prices = true;
+        let mut c = Cloud::new(Catalog::testbed(), config);
+        let mut buf = Vec::new();
+        let mut total = 0usize;
+        for _ in 0..100 {
+            c.tick();
+            c.drain_events_into(&mut buf);
+            total += buf.len();
+        }
+        assert!(total > 0, "expected events in 100 paper-demand ticks");
+        // After a drain the internal buffer is empty again.
+        assert!(c.take_events().is_empty());
+    }
+
+    /// The determinism contract: the same seed and config produce the
+    /// same event stream and prices at every thread count.
+    #[test]
+    fn tick_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut config = SimConfig::paper(23);
+            config.record_all_prices = true;
+            config.threads = threads;
+            let mut c = Cloud::new(Catalog::testbed(), config);
+            let mut events = Vec::new();
+            for _ in 0..300 {
+                c.tick();
+                events.extend(c.take_events());
+            }
+            let prices: Vec<Price> = c
+                .catalog()
+                .markets()
+                .iter()
+                .map(|&m| c.oracle_true_price(m).unwrap())
+                .collect();
+            (events, prices)
+        };
+        let base = run(1);
+        assert_eq!(base, run(2), "threads=2 diverged from threads=1");
+        assert_eq!(base, run(5), "threads=5 diverged from threads=1");
     }
 }

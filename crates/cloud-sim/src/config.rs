@@ -422,6 +422,16 @@ pub struct SimConfig {
     /// Record the full price history of every market (memory-heavy);
     /// when `false` only watched markets are recorded.
     pub record_all_prices: bool,
+    /// Worker threads for the region-sharded tick: `0` (auto) resolves
+    /// at construction to the machine's available parallelism — or to
+    /// `1` for small catalogs, where per-tick thread spawning would cost
+    /// more than the tick itself; `1` runs the shards inline on the
+    /// calling thread (no threads are spawned); higher values are always
+    /// honoured and fan region shards out across that many
+    /// `std::thread::scope` workers. The thread count affects wall-clock
+    /// time only — results are bit-identical at any setting (see the
+    /// determinism contract in [`crate::cloud`]).
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -462,6 +472,7 @@ impl Default for SimConfig {
             demand: DemandProfile::paper_calibration(),
             limits: ServiceLimits::default(),
             record_all_prices: false,
+            threads: 0,
         }
     }
 }

@@ -193,6 +193,11 @@ impl PoolDemand {
     }
 }
 
+/// Bid-level count of the paper-calibrated grid; the dense clearing
+/// kernels carry a constant-trip-count fast path for this width so the
+/// compiler can unroll and vectorize them.
+pub(crate) const FIXED_LEVELS: usize = 15;
+
 /// Precomputed bid-level constants shared by every market: the
 /// normalized level profile and the tilt basis. Building this once per
 /// cloud removes a divide-heavy inner loop from the per-market clearing
@@ -310,6 +315,23 @@ impl MarketDemand {
         assert_eq!(surge_weights.len(), n, "surge weight length mismatch");
         let scaled_base = base_mass * self.scale;
         let surge_mass = self.surge_level() * base_mass;
+        // Fast path for the paper's fixed 15-level grid: converting the
+        // slices to `[f64; 15]` gives the loop a constant trip count, so
+        // the compiler fully unrolls and auto-vectorizes the kernel
+        // (element-wise only — bit-identical to the generic loop). The
+        // `tick_component/level_masses_and_clear` bench guards this.
+        if let (Ok(out), Ok(profile), Ok(tilt), Ok(surge)) = (
+            <&mut [f64; FIXED_LEVELS]>::try_from(&mut *out),
+            <&[f64; FIXED_LEVELS]>::try_from(grid.norm_profile.as_slice()),
+            <&[f64; FIXED_LEVELS]>::try_from(grid.tilt_basis.as_slice()),
+            <&[f64; FIXED_LEVELS]>::try_from(surge_weights),
+        ) {
+            for i in 0..FIXED_LEVELS {
+                let tilt_factor = (1.0 + self.tilt * tilt[i]).max(0.05);
+                out[i] = profile[i] * scaled_base * tilt_factor + surge_mass * surge[i];
+            }
+            return;
+        }
         for i in 0..n {
             let tilt_factor = (1.0 + self.tilt * grid.tilt_basis[i]).max(0.05);
             out[i] =

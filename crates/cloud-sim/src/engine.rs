@@ -103,6 +103,10 @@ pub struct Engine {
     queue: BinaryHeap<Reverse<(SimTime, QueueItem, u64)>>,
     seq: u64,
     started: bool,
+    /// Reusable event-drain buffer: ping-pongs with the cloud's internal
+    /// buffer via [`Cloud::drain_events_into`], so the steady-state
+    /// drive loop allocates nothing per tick even under event churn.
+    events_buf: Vec<CloudEvent>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -129,6 +133,7 @@ impl Engine {
             queue: BinaryHeap::new(),
             seq: 0,
             started: false,
+            events_buf: Vec::new(),
         }
     }
 
@@ -196,7 +201,13 @@ impl Engine {
                 QueueItem::Tick => {
                     self.cloud.tick();
                     debug_assert_eq!(self.cloud.now(), at);
-                    let events = self.cloud.take_events();
+                    // Swap the events out through the reusable buffer
+                    // (taken while agents hold the cloud mutably).
+                    let events = {
+                        let mut buf = std::mem::take(&mut self.events_buf);
+                        self.cloud.drain_events_into(&mut buf);
+                        buf
+                    };
                     for event in &events {
                         for i in 0..self.agents.len() {
                             let mut ctx = Ctx {
@@ -208,6 +219,7 @@ impl Engine {
                             self.agents[i].on_cloud_event(&mut ctx, event);
                         }
                     }
+                    self.events_buf = events;
                     let pending = std::mem::take(&mut wakes);
                     self.drain_wakes(pending);
                     self.push(at + tick, QueueItem::Tick);

@@ -40,7 +40,13 @@ pub fn clear(multiples: &[f64], masses: &[f64], supply: f64) -> Clearing {
     assert!(!multiples.is_empty(), "need at least one bid level");
     assert_eq!(multiples.len(), masses.len(), "level arrays must align");
     let n = multiples.len();
-    let total: f64 = masses.iter().sum();
+    // Summing through a fixed-width array gives the compiler a constant
+    // trip count to unroll on the common 15-level grid; the summation
+    // order (and therefore the result) is unchanged.
+    let total: f64 = match <&[f64; crate::demand::FIXED_LEVELS]>::try_from(masses) {
+        Ok(m) => m.iter().sum(),
+        Err(_) => masses.iter().sum(),
+    };
 
     if supply <= 0.0 {
         return Clearing {

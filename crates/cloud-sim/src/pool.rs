@@ -13,7 +13,10 @@
 //! All quantities are in normalized capacity units (see
 //! [`crate::ids::Size::units`]). The pool is a passive accounting object:
 //! the demand processes in [`crate::demand`] and the clearing logic in
-//! [`crate::cloud`] drive it.
+//! [`crate::cloud`] drive it. Each pool is owned by its region's shard
+//! (see the ownership model in [`crate::cloud`]): during the parallel
+//! tick phase only that shard's worker may touch it, which is what lets
+//! the tick fan out across regions without locks.
 
 use serde::{Deserialize, Serialize};
 

@@ -256,23 +256,31 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     }
     drop(db_tx);
 
-    // Driver: advance the cloud, fan events out per region.
+    // Driver: advance the cloud, fan events out per region. The drain
+    // buffer and the per-region routing map are reused across ticks;
+    // only the event batches themselves are allocated per tick, because
+    // their ownership crosses the channel to the region managers.
     let tick = { shared.lock().config().tick };
     let ticks = config.duration.as_secs() / tick.as_secs().max(1);
+    let mut events: Vec<CloudEvent> = Vec::new();
+    let mut per_region: HashMap<Region, Vec<CloudEvent>> =
+        region_txs.keys().map(|&r| (r, Vec::new())).collect();
     for _ in 0..ticks {
-        let (events, now) = {
+        let now = {
             let mut cloud = shared.lock();
             cloud.tick();
-            (cloud.take_events(), cloud.now())
+            cloud.drain_events_into(&mut events);
+            cloud.now()
         };
-        let mut per_region: HashMap<Region, Vec<CloudEvent>> = HashMap::new();
-        for event in events {
+        for event in events.drain(..) {
             if let CloudEvent::PriceChange { market, .. } = event {
-                per_region.entry(market.region()).or_default().push(event);
+                if let Some(batch) = per_region.get_mut(&market.region()) {
+                    batch.push(event);
+                }
             }
         }
         for (&region, tx) in &region_txs {
-            let batch = per_region.remove(&region).unwrap_or_default();
+            let batch = std::mem::take(per_region.get_mut(&region).expect("prebuilt"));
             let _ = tx.send(RegionMsg::Events(batch, now));
         }
     }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf regression gate for the verify path: runs a fresh
+# scripts/bench_snapshot.sh and compares the perf-tracked suites
+# (tick/*, tick_threads/*, tick_component/*, store_query_100k/*)
+# against the latest committed BENCH_PR<N>.json. A tracked bench whose
+# fresh median exceeds baseline × TOLERANCE (default 1.3) fails the
+# check.
+#
+# Usage:
+#   scripts/bench_check.sh                 # fresh run vs latest BENCH_PR<N>.json
+#   scripts/bench_check.sh BASELINE.json   # fresh run vs a chosen baseline
+#   scripts/bench_check.sh BASELINE.json FRESH.json   # compare two snapshots
+#   TOLERANCE=1.5 scripts/bench_check.sh   # loosen the gate
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${TOLERANCE:-1.3}"
+# tick_threads/{2,4,...} are deliberately NOT gated: they measure the
+# host's parallelism (a 1-core CI box vs a multicore baseline host
+# would "regress" 3x with zero code change). Only the single-thread
+# variant is machine-portable enough to gate.
+TRACKED='^(tick|tick_component|store_query_100k)/|^tick_threads/1$'
+
+BASELINE="${1:-}"
+if [ -z "$BASELINE" ]; then
+    BASELINE="$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n1 || true)"
+fi
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "bench_check: no baseline BENCH_PR<N>.json found" >&2
+    exit 2
+fi
+
+FRESH="${2:-}"
+if [ -z "$FRESH" ]; then
+    FRESH="$(mktemp /tmp/bench_check.XXXXXX.json)"
+    trap 'rm -f "$FRESH"' EXIT
+    scripts/bench_snapshot.sh "$FRESH" >&2
+fi
+
+# Extract "name median_ns" pairs from a snapshot (one bench per line in
+# the criterion shim's JSON-lines format).
+extract() {
+    # `|| true`: a pattern miss must reach the empty-table guard below
+    # with a clear message, not die silently under `set -e`.
+    grep -o '"name":"[^"]*","median_ns":[0-9.]*' "$1" \
+        | sed 's/"name":"//; s/","median_ns":/ /' || true
+}
+
+extract "$BASELINE" > /tmp/bench_check_base.$$
+extract "$FRESH" > /tmp/bench_check_fresh.$$
+
+# An empty table means the snapshot format drifted away from extract()'s
+# pattern — fail loudly rather than comparing against nothing.
+for f in /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$; do
+    if [ ! -s "$f" ]; then
+        echo "bench_check: no benches extracted from ${BASELINE}/${FRESH} (format drift?)" >&2
+        rm -f /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$
+        exit 2
+    fi
+done
+
+awk -v tol="$TOLERANCE" -v tracked="$TRACKED" '
+    # Keep the FIRST median per name: snapshots may embed older baseline
+    # sections (e.g. BENCH_PR1.json repeats seed medians) further down.
+    NR == FNR { if (!($1 in base)) base[$1] = $2; next }
+    $1 ~ tracked {
+        if (!($1 in base)) {
+            printf "  NEW      %-55s %12.1f ns (no baseline)\n", $1, $2
+            next
+        }
+        ratio = $2 / base[$1]
+        status = (ratio <= tol) ? "ok" : "REGRESSED"
+        printf "  %-8s %-55s %12.1f -> %12.1f ns (%.2fx)\n", status, $1, base[$1], $2, ratio
+        if (ratio > tol) failures++
+    }
+    END {
+        if (failures > 0) {
+            printf "bench_check: %d tracked bench(es) regressed beyond %.2fx\n", failures, tol
+            exit 1
+        }
+        print "bench_check: all tracked benches within tolerance"
+    }
+' /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$ && rc=0 || rc=$?
+rm -f /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$
+exit "$rc"
