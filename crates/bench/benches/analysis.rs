@@ -11,6 +11,7 @@ use std::hint::black_box;
 
 fn bench_analysis(c: &mut Criterion) {
     let store = synthetic_store(100_000);
+    let store = store.read();
     let mut group = c.benchmark_group("analysis_100k_probes");
     group.sample_size(20);
     group.bench_function("spike_unavailability", |b| {

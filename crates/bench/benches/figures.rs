@@ -23,14 +23,17 @@ fn bench_figures(c: &mut Criterion) {
     // One shared study: the cost of the figure benches is the analysis,
     // not the simulation.
     let (cloud, store, start, end) = small_study(5, 2);
-    let db = store.lock();
+    let db = store.read();
     let mut group = c.benchmark_group("figure");
     group.sample_size(10);
 
     group.bench_function("table_2_1_contract_stats", |b| {
+        // Buffer-reusing variant: zero allocation per query call.
+        let mut counts = std::collections::HashMap::new();
         b.iter(|| {
             let q = SpotLightQuery::new(&db, start, end);
-            black_box(q.rejection_counts_by_region())
+            q.rejection_counts_by_region_into(&mut counts);
+            black_box(counts.len())
         })
     });
     group.bench_function("fig_3_1_state_machine_dot", |b| {
@@ -82,7 +85,6 @@ fn bench_figures(c: &mut Criterion) {
     let od = cloud.catalog().od_price(market);
     let timeline = AvailabilityTimeline::from_intervals(
         db.intervals()
-            .iter()
             .filter(|i| i.market == market && i.kind == ProbeKind::OnDemand)
             .map(|i| (i.start, i.end.unwrap_or(end)))
             .collect(),

@@ -37,7 +37,7 @@ fn bench_deployment_day(c: &mut Criterion) {
             |(mut engine, store)| {
                 let end = engine.cloud().now() + SimDuration::days(1);
                 engine.run_until(end);
-                black_box(store.lock().len())
+                black_box(store.len())
             },
             BatchSize::SmallInput,
         )

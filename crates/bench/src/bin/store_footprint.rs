@@ -1,0 +1,77 @@
+//! Measures the store's resident footprint before and after
+//! `DataStore::compact` on a month-scale synthetic study (one million
+//! probes + spikes packed into ~35 simulated days, horizon = last three
+//! days retained), printing one JSON object for
+//! `scripts/bench_snapshot.sh` to embed in BENCH_PR<N>.json.
+//!
+//! It also re-runs the summarized queries after compaction and panics
+//! if any answer moved — the snapshot doubles as an exactness check.
+
+use cloud_sim::ids::MarketId;
+use cloud_sim::time::{SimDuration, SimTime};
+use spotlight_bench::synthetic_store_spaced;
+use spotlight_core::probe::ProbeKind;
+use spotlight_core::query::SpotLightQuery;
+
+const RECORDS: u64 = 1_000_000;
+const SPACING: u64 = 3;
+
+fn summarized_answers(
+    store: &spotlight_core::store::DataStore,
+    span_end: SimTime,
+) -> Vec<(MarketId, u64, u64, u64)> {
+    let read = store.read();
+    let mut markets: Vec<MarketId> = read.probed_markets().collect();
+    markets.sort_by_key(|m| m.to_string());
+    let query = SpotLightQuery::new(&read, SimTime::ZERO, span_end);
+    markets
+        .iter()
+        .map(|&m| {
+            let st = query.availability(m, ProbeKind::OnDemand);
+            (
+                m,
+                st.probes,
+                st.rejections,
+                query.unavailable_seconds(m, ProbeKind::OnDemand),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let store = synthetic_store_spaced(RECORDS, SPACING);
+    let span_end = SimTime::from_secs(RECORDS * SPACING + 1);
+    let horizon = SimTime::from_secs(
+        span_end
+            .as_secs()
+            .saturating_sub(SimDuration::days(3).as_secs()),
+    );
+
+    let before = summarized_answers(&store, span_end);
+    let records_before = store.resident_records();
+    let bytes_before = store.resident_bytes();
+
+    let dropped = store.compact(horizon);
+
+    let records_after = store.resident_records();
+    let bytes_after = store.resident_bytes();
+    let after = summarized_answers(&store, span_end);
+    assert_eq!(
+        before, after,
+        "summarized queries must be unchanged by compaction"
+    );
+
+    println!(
+        "{{\"records\":{RECORDS},\"spacing_secs\":{SPACING},\
+         \"retention_days\":3,\
+         \"resident_records_before\":{records_before},\
+         \"resident_records_after\":{records_after},\
+         \"resident_bytes_before\":{bytes_before},\
+         \"resident_bytes_after\":{bytes_after},\
+         \"dropped_probes\":{},\"dropped_spikes\":{},\
+         \"records_reduction_pct\":{:.1}}}",
+        dropped.dropped_probes,
+        dropped.dropped_spikes,
+        100.0 * (1.0 - records_after as f64 / records_before.max(1) as f64),
+    );
+}

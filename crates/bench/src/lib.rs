@@ -65,6 +65,14 @@ fn synthetic_ratio(i: u64) -> f64 {
 }
 
 pub fn synthetic_probes(n: u64) -> Vec<ProbeRecord> {
+    synthetic_probes_spaced(n, 97)
+}
+
+/// Like [`synthetic_probes`] but with a chosen inter-record spacing in
+/// seconds — `spacing = 3` packs a million records into roughly one
+/// month of simulated time, the month-scale-study shape the
+/// `store_window_sweep_1m` benches and compaction measurements use.
+pub fn synthetic_probes_spaced(n: u64, spacing: u64) -> Vec<ProbeRecord> {
     let types = ["c3.large", "c3.xlarge", "c3.2xlarge", "m3.large"];
     (0..n)
         .map(|i| {
@@ -76,7 +84,7 @@ pub fn synthetic_probes(n: u64) -> Vec<ProbeRecord> {
             let ratio = synthetic_ratio(i);
             let unavailable = i % 17 == 0;
             ProbeRecord {
-                at: SimTime::from_secs(i * 97),
+                at: SimTime::from_secs(i * spacing),
                 market,
                 kind: if i % 5 == 0 {
                     ProbeKind::Spot
@@ -108,8 +116,13 @@ pub fn synthetic_probes(n: u64) -> Vec<ProbeRecord> {
 /// Builds a deterministic synthetic store with `n` probes and spikes —
 /// the shared input of the analysis and store benches.
 pub fn synthetic_store(n: u64) -> DataStore {
-    let mut store = DataStore::new();
-    for (i, p) in synthetic_probes(n).into_iter().enumerate() {
+    synthetic_store_spaced(n, 97)
+}
+
+/// Like [`synthetic_store`] with a chosen inter-record spacing.
+pub fn synthetic_store_spaced(n: u64, spacing: u64) -> DataStore {
+    let store = DataStore::new();
+    for (i, p) in synthetic_probes_spaced(n, spacing).into_iter().enumerate() {
         store.record_spike(SpikeEvent {
             market: p.market,
             at: p.at,

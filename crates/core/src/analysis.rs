@@ -1,5 +1,5 @@
 //! The Chapter 5 analyses: every computation behind Figures 5.4–5.12,
-//! as pure functions over the probe [`DataStore`].
+//! as pure functions over a probe-store snapshot ([`StoreRead`]).
 //!
 //! The statistical definitions follow the paper:
 //!
@@ -13,7 +13,7 @@
 
 use crate::probe::{ProbeKind, ProbeOutcome};
 use crate::stats::{BucketedRate, Ecdf};
-use crate::store::DataStore;
+use crate::store::StoreRead;
 use cloud_sim::ids::{Family, MarketId, Region};
 use cloud_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -48,7 +48,7 @@ pub struct CurvePoint {
 
 /// A per-market view of rejected on-demand probe times, served from the
 /// store's time-sorted rejection index (no probe-log scan).
-fn od_rejections(store: &DataStore) -> HashMap<MarketId, &[SimTime]> {
+fn od_rejections<'a>(store: &'a StoreRead<'a>) -> HashMap<MarketId, &'a [SimTime]> {
     store
         .rejection_entries()
         .filter(|&((_, kind), _)| kind == ProbeKind::OnDemand)
@@ -61,7 +61,7 @@ fn od_rejections(store: &DataStore) -> HashMap<MarketId, &[SimTime]> {
 /// every rejected recovery probe keeps long outages from being counted
 /// once per re-probe.
 fn detections_by_group(
-    store: &DataStore,
+    store: &StoreRead<'_>,
     kind: ProbeKind,
 ) -> HashMap<(Region, Family), Vec<(SimTime, MarketId)>> {
     let mut idx: HashMap<(Region, Family), Vec<(SimTime, MarketId)>> = HashMap::new();
@@ -86,7 +86,7 @@ fn any_in_window(sorted: &[SimTime], from: SimTime, to: SimTime) -> bool {
 /// Figure 5.4 / 5.6: P(on-demand unavailable within `window` of a spike)
 /// as a function of spike size; `region` restricts to one region.
 pub fn spike_unavailability(
-    store: &DataStore,
+    store: &StoreRead<'_>,
     window: SimDuration,
     region: Option<Region>,
 ) -> Vec<CurvePoint> {
@@ -148,7 +148,7 @@ pub fn spike_unavailability(
 /// region, per spike-size bucket. Returns `(edges, region → share per
 /// bucket)`; shares within one bucket sum to 1 (when it has any
 /// rejections).
-pub fn regional_rejection_share(store: &DataStore) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
+pub fn regional_rejection_share(store: &StoreRead<'_>) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
     let edges = spike_thresholds();
     let probe_bucket = BucketedRate::new(&edges);
     let mut counts: HashMap<Region, Vec<u64>> = HashMap::new();
@@ -186,7 +186,7 @@ pub fn regional_rejection_share(store: &DataStore) -> (Vec<f64>, HashMap<Region,
 /// Figure 5.7: of all rejected on-demand probes, the share found via the
 /// triggering price spike versus via related-market fan-out, per spike
 /// bucket. Returns `(edges, by_spike_share, by_related_share)`.
-pub fn rejection_attribution(store: &DataStore) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn rejection_attribution(store: &StoreRead<'_>) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let edges = spike_thresholds();
     let bucketer = BucketedRate::new(&edges);
     let mut spike = vec![0u64; edges.len()];
@@ -226,7 +226,7 @@ pub fn rejection_attribution(store: &DataStore) -> (Vec<f64>, Vec<f64>, Vec<f64>
 /// that at least one *same-type* market in another zone is also detected
 /// unavailable within `window`, as a function of the detection's spike
 /// size.
-pub fn cross_az_unavailability(store: &DataStore, window: SimDuration) -> Vec<CurvePoint> {
+pub fn cross_az_unavailability(store: &StoreRead<'_>, window: SimDuration) -> Vec<CurvePoint> {
     let rejections = od_rejections(store);
     let mut rate = BucketedRate::new(&spike_thresholds());
 
@@ -264,11 +264,10 @@ pub fn cross_az_unavailability(store: &DataStore, window: SimDuration) -> Vec<Cu
 
 /// Figure 5.9: the CDF of measured on-demand unavailability durations,
 /// in hours.
-pub fn duration_cdf(store: &DataStore) -> Ecdf {
+pub fn duration_cdf(store: &StoreRead<'_>) -> Ecdf {
     Ecdf::from_samples(
         store
             .intervals()
-            .iter()
             .filter(|i| i.kind == ProbeKind::OnDemand)
             .filter_map(|i| i.duration().map(|d| d.as_hours_f64()))
             .collect(),
@@ -281,7 +280,7 @@ pub fn duration_cdf(store: &DataStore) -> Ecdf {
 /// Only the periodic `CheckCapacity` stream (§3.3) counts:
 /// cross-verification probes and recovery re-probes fired during
 /// on-demand squeezes would otherwise bias the high-price buckets.
-pub fn spot_cna_curve(store: &DataStore, region: Option<Region>) -> Vec<CurvePoint> {
+pub fn spot_cna_curve(store: &StoreRead<'_>, region: Option<Region>) -> Vec<CurvePoint> {
     use crate::probe::ProbeTrigger;
     let mut rate = BucketedRate::new(&spot_ratio_buckets());
     for p in store.probes() {
@@ -312,7 +311,7 @@ pub fn spot_cna_curve(store: &DataStore, region: Option<Region>) -> Vec<CurvePoi
 /// Figure 5.11: where spot capacity-not-available events land, as a
 /// share per region per price bucket. Returns `(edges, region →
 /// share-of-all-CNA per bucket)`.
-pub fn spot_cna_distribution(store: &DataStore) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
+pub fn spot_cna_distribution(store: &StoreRead<'_>) -> (Vec<f64>, HashMap<Region, Vec<f64>>) {
     let edges = spot_ratio_buckets();
     let bucketer = BucketedRate::new(&edges);
     let mut counts: HashMap<Region, Vec<u64>> = HashMap::new();
@@ -388,7 +387,7 @@ impl CrossRelation {
 /// *related* market (same family, same region, a different zone) is
 /// detected unavailable in the other (or same) kind within each window.
 pub fn cross_market_unavailability(
-    store: &DataStore,
+    store: &StoreRead<'_>,
     windows: &[SimDuration],
 ) -> HashMap<CrossRelation, Vec<f64>> {
     let od_idx = detections_by_group(store, ProbeKind::OnDemand);
@@ -462,6 +461,7 @@ pub fn holding_price_series(
 mod tests {
     use super::*;
     use crate::probe::{ProbeRecord, ProbeTrigger};
+    use crate::store::DataStore;
     use crate::store::SpikeEvent;
     use cloud_sim::ids::{Az, Platform};
     use cloud_sim::price::Price;
@@ -505,7 +505,7 @@ mod tests {
 
     #[test]
     fn spike_curve_counts_hits_within_window() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         // Spike at t=0 (ratio 2), rejection at t=100 → hit for 900 s
         // window. Spike at t=5000 (ratio 5), no rejection → miss.
@@ -519,7 +519,7 @@ mod tests {
             2.0,
         ));
         s.record_spike(spike(5000, m, 5.0));
-        let curve = spike_unavailability(&s, SimDuration::from_secs(900), None);
+        let curve = spike_unavailability(&s.read(), SimDuration::from_secs(900), None);
         // Threshold >=0: 2 trials, 1 hit.
         assert_eq!(curve[0].trials, 2);
         assert_eq!(curve[0].probability, Some(0.5));
@@ -531,13 +531,13 @@ mod tests {
 
     #[test]
     fn spike_clustering_merges_within_window() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         // Three spikes inside one 900 s window = one trial.
         s.record_spike(spike(0, m, 1.0));
         s.record_spike(spike(300, m, 3.0));
         s.record_spike(spike(600, m, 2.0));
-        let curve = spike_unavailability(&s, SimDuration::from_secs(900), None);
+        let curve = spike_unavailability(&s.read(), SimDuration::from_secs(900), None);
         assert_eq!(curve[0].trials, 1);
         // The cluster carries its max ratio (3.0).
         let p3 = curve.iter().find(|c| c.threshold == 3.0).unwrap();
@@ -546,7 +546,7 @@ mod tests {
 
     #[test]
     fn attribution_splits_by_trigger() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         let sib = market(Region::UsEast1, 0, "c3.xlarge");
         s.record_probe(probe(
@@ -570,7 +570,7 @@ mod tests {
                 0.2,
             ));
         }
-        let (edges, by_spike, by_related) = rejection_attribution(&s);
+        let (edges, by_spike, by_related) = rejection_attribution(&s.read());
         let b = edges.iter().position(|&e| e == 2.0).unwrap();
         assert!((by_spike[b] - 1.0 / 3.0).abs() < 1e-9);
         assert!((by_related[b] - 2.0 / 3.0).abs() < 1e-9);
@@ -578,7 +578,7 @@ mod tests {
 
     #[test]
     fn cross_az_looks_at_same_type_other_zones() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         let other_az = market(Region::UsEast1, 1, "c3.large");
         let other_type = market(Region::UsEast1, 1, "c3.xlarge");
@@ -615,7 +615,7 @@ mod tests {
             ProbeOutcome::InsufficientCapacity,
             0.3,
         ));
-        let curve = cross_az_unavailability(&s, SimDuration::from_secs(900));
+        let curve = cross_az_unavailability(&s.read(), SimDuration::from_secs(900));
         // Three intervals opened, but only the zone-a one is an initial
         // (non-related) detection... the cross-az one was opened via a
         // related trigger, so trials == 1.
@@ -625,7 +625,7 @@ mod tests {
 
     #[test]
     fn duration_cdf_uses_closed_od_intervals() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         s.record_probe(probe(
             0,
@@ -643,14 +643,14 @@ mod tests {
             ProbeOutcome::Fulfilled,
             0.2,
         ));
-        let cdf = duration_cdf(&s);
+        let cdf = duration_cdf(&s.read());
         assert_eq!(cdf.len(), 1);
         assert_eq!(cdf.quantile(1.0), Some(2.0), "two hours");
     }
 
     #[test]
     fn spot_cna_curve_buckets_by_ratio() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         // Low ratio: 1 CNA + 1 fulfilled → 50%.
         for (t, outcome) in [
@@ -684,7 +684,7 @@ mod tests {
             ProbeOutcome::PriceTooLow,
             0.05,
         ));
-        let curve = spot_cna_curve(&s, None);
+        let curve = spot_cna_curve(&s.read(), None);
         assert_eq!(curve[0].trials, 2);
         assert_eq!(curve[0].probability, Some(0.5));
         let hi = curve.iter().find(|c| c.threshold == 0.5).unwrap();
@@ -694,7 +694,7 @@ mod tests {
 
     #[test]
     fn cross_market_relations() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(Region::UsEast1, 0, "c3.large");
         let related = market(Region::UsEast1, 1, "c3.xlarge");
         // od detection at t=0; related spot CNA at t=600.
@@ -715,7 +715,7 @@ mod tests {
             0.1,
         ));
         let windows = [SimDuration::from_secs(300), SimDuration::from_secs(900)];
-        let out = cross_market_unavailability(&s, &windows);
+        let out = cross_market_unavailability(&s.read(), &windows);
         let od_spot = &out[&CrossRelation::OdSpot];
         assert_eq!(od_spot[0], 0.0, "600 s arrival misses the 300 s window");
         assert_eq!(od_spot[1], 1.0, "within the 900 s window");

@@ -43,8 +43,9 @@
 //! let end = SimTime::ZERO + SimDuration::days(1);
 //! engine.run_until(end);
 //!
-//! // Ask the information service what it learned.
-//! let db = store.lock();
+//! // Ask the information service what it learned (a read snapshot
+//! // over the store's lock stripes).
+//! let db = store.read();
 //! let query = SpotLightQuery::new(&db, SimTime::ZERO, end);
 //! for market in engine.cloud().catalog().markets() {
 //!     let stats = query.availability(*market, ProbeKind::OnDemand);
@@ -72,4 +73,4 @@ pub use policy::{PolicyConfig, SpotLightConfig};
 pub use probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
 pub use query::SpotLightQuery;
 pub use spotlight::SpotLight;
-pub use store::{DataStore, SharedStore};
+pub use store::{DataStore, SharedStore, StoreRead};

@@ -9,14 +9,21 @@
 //!   region's events out to its region manager over a channel;
 //! * **region managers** (one thread per region) run the spike-triggered
 //!   probing policy against the shared cloud, keeping their own
-//!   re-probe (recovery) schedules;
-//! * a **database manager** thread owns all writes to the
-//!   [`SharedStore`].
+//!   re-probe (recovery) schedules.
+//!
+//! The paper's *database manager* — a thread serializing every write —
+//! is subsumed by the lock-striped [`SharedStore`]: region managers
+//! record probes and spikes directly, and only writers hitting the same
+//! market-hash stripe contend. Each worker also keeps its own clone of
+//! the immutable catalog, so price/sibling lookups never touch the
+//! cloud lock; the cloud is locked only for the API calls that actually
+//! mutate it.
 //!
 //! The engine-hosted [`crate::spotlight::SpotLight`] agent is the
 //! deterministic twin of this deployment; the live mode exists to
 //! demonstrate and test the concurrent architecture (mpsc channels,
-//! [`crate::sync::Mutex`] locks) at the cost of determinism across
+//! [`crate::sync::Mutex`] for the cloud, the store's internal
+//! [`crate::sync::RwLock`] stripes) at the cost of determinism across
 //! thread interleavings. Within one region, probing is deterministic.
 
 use crate::policy::PolicyConfig;
@@ -24,6 +31,7 @@ use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
 use crate::store::{SharedStore, SpikeEvent};
 use crate::sync::Mutex;
 use cloud_sim::api::ApiError;
+use cloud_sim::catalog::Catalog;
 use cloud_sim::cloud::{Cloud, CloudEvent};
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::price::Price;
@@ -61,18 +69,15 @@ enum RegionMsg {
     Shutdown,
 }
 
-/// What a region manager sends to the database manager.
-enum DbMsg {
-    Probe(ProbeRecord),
-    Spike(SpikeEvent),
-}
-
 /// One region manager's probing state.
 struct RegionWorker {
     region: Region,
     policy: PolicyConfig,
     cloud: SharedCloud,
-    db: Sender<DbMsg>,
+    /// The immutable market catalog, cloned once at spawn so lookups
+    /// need no cloud lock.
+    catalog: Catalog,
+    store: SharedStore,
     cooldown_until: HashMap<MarketId, SimTime>,
     /// Markets awaiting recovery, with their next re-probe time.
     recovery_due: HashMap<MarketId, SimTime>,
@@ -81,24 +86,28 @@ struct RegionWorker {
 
 impl RegionWorker {
     fn probe_od(&mut self, market: MarketId, trigger: ProbeTrigger, now: SimTime) {
-        let mut cloud = self.cloud.lock();
-        let od_price = cloud.catalog().od_price(market);
-        let (outcome, cost) = match cloud.run_od_instance(market) {
-            Ok(id) => {
-                let cost = cloud.terminate_od_instance(id).unwrap_or(od_price);
-                (ProbeOutcome::Fulfilled, cost)
-            }
-            Err(ApiError::InsufficientInstanceCapacity { .. }) => {
-                (ProbeOutcome::InsufficientCapacity, Price::ZERO)
-            }
-            Err(_) => (ProbeOutcome::ApiLimited, Price::ZERO),
+        let od_price = self.catalog.od_price(market);
+        // Cloud critical section: just the API call and the price read.
+        let (outcome, cost, spot_ratio) = {
+            let mut cloud = self.cloud.lock();
+            let (outcome, cost) = match cloud.run_od_instance(market) {
+                Ok(id) => {
+                    let cost = cloud.terminate_od_instance(id).unwrap_or(od_price);
+                    (ProbeOutcome::Fulfilled, cost)
+                }
+                Err(ApiError::InsufficientInstanceCapacity { .. }) => {
+                    (ProbeOutcome::InsufficientCapacity, Price::ZERO)
+                }
+                Err(_) => (ProbeOutcome::ApiLimited, Price::ZERO),
+            };
+            let spot_ratio = cloud
+                .oracle_published_price(market)
+                .map_or(0.0, |p| p.ratio_to(od_price));
+            (outcome, cost, spot_ratio)
         };
-        let spot_ratio = cloud
-            .oracle_published_price(market)
-            .map_or(0.0, |p| p.ratio_to(od_price));
-        drop(cloud);
         self.probes_issued += 1;
-        let _ = self.db.send(DbMsg::Probe(ProbeRecord {
+        // Direct striped write: locks only this market's stripe.
+        self.store.record_probe(ProbeRecord {
             at: now,
             market,
             kind: ProbeKind::OnDemand,
@@ -107,7 +116,7 @@ impl RegionWorker {
             spot_ratio,
             bid: None,
             cost,
-        }));
+        });
         match outcome {
             ProbeOutcome::InsufficientCapacity => {
                 self.recovery_due
@@ -140,8 +149,7 @@ impl RegionWorker {
                 continue;
             };
             debug_assert_eq!(market.region(), self.region);
-            let od = { self.cloud.lock().catalog().od_price(market) };
-            let ratio = price.ratio_to(od);
+            let ratio = price.ratio_to(self.catalog.od_price(market));
             if ratio < self.policy.spike_threshold {
                 continue;
             }
@@ -154,25 +162,18 @@ impl RegionWorker {
             }
             self.cooldown_until
                 .insert(market, now + self.policy.market_cooldown);
-            let _ = self.db.send(DbMsg::Spike(SpikeEvent {
+            self.store.record_spike(SpikeEvent {
                 market,
                 at: now,
                 ratio,
                 probed: true,
-            }));
+            });
             self.probe_od(market, ProbeTrigger::PriceSpike { ratio }, now);
 
             // Fan out while we still believe the market is unavailable.
             if self.recovery_due.contains_key(&market) {
-                let (family, zones): (Vec<MarketId>, Vec<MarketId>) = {
-                    let cloud = self.cloud.lock();
-                    (
-                        cloud.catalog().family_siblings(market),
-                        cloud.catalog().az_siblings(market),
-                    )
-                };
                 if self.policy.family_fanout {
-                    for sibling in family {
+                    for sibling in self.catalog.family_siblings(market) {
                         self.probe_od(
                             sibling,
                             ProbeTrigger::FamilyFanout {
@@ -184,7 +185,7 @@ impl RegionWorker {
                     }
                 }
                 if self.policy.cross_az_fanout {
-                    for sibling in zones {
+                    for sibling in self.catalog.az_siblings(market) {
                         self.probe_od(
                             sibling,
                             ProbeTrigger::CrossAzFanout {
@@ -217,27 +218,12 @@ impl RegionWorker {
 pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud, LiveReport) {
     config.policy.validate().expect("invalid policy");
     let regions: Vec<Region> = cloud.catalog().regions();
+    let catalog = cloud.catalog().clone();
+    // The report counts THIS run's probes even on a pre-populated store.
+    let probes_at_start = store.len();
     let shared: SharedCloud = Arc::new(Mutex::new(cloud));
-    let (db_tx, db_rx) = channel::<DbMsg>();
 
-    // Database manager: the only writer to the store.
-    let db_store = store.clone();
-    let db_thread = thread::spawn(move || {
-        let mut written = 0usize;
-        while let Ok(msg) = db_rx.recv() {
-            let mut s = db_store.lock();
-            match msg {
-                DbMsg::Probe(p) => {
-                    s.record_probe(p);
-                    written += 1;
-                }
-                DbMsg::Spike(sp) => s.record_spike(sp),
-            }
-        }
-        written
-    });
-
-    // Region managers.
+    // Region managers, writing straight into the striped store.
     let mut region_txs: HashMap<Region, Sender<RegionMsg>> = HashMap::new();
     let mut handles = Vec::new();
     for &region in &regions {
@@ -247,14 +233,14 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             region,
             policy: config.policy.clone(),
             cloud: shared.clone(),
-            db: db_tx.clone(),
+            catalog: catalog.clone(),
+            store: store.clone(),
             cooldown_until: HashMap::new(),
             recovery_due: HashMap::new(),
             probes_issued: 0,
         };
         handles.push((region, thread::spawn(move || worker.run(rx))));
     }
-    drop(db_tx);
 
     // Driver: advance the cloud, fan events out per region. The drain
     // buffer and the per-region routing map are reused across ticks;
@@ -292,7 +278,7 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     for (region, handle) in handles {
         per_region_probes.insert(region, handle.join().expect("region manager panicked"));
     }
-    let probes = db_thread.join().expect("database manager panicked");
+    let probes = store.len() - probes_at_start;
 
     let cloud = Arc::into_inner(shared)
         .expect("all workers joined")
@@ -311,7 +297,6 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
 mod tests {
     use super::*;
     use crate::store::shared_store;
-    use cloud_sim::catalog::Catalog;
     use cloud_sim::config::SimConfig;
 
     #[test]
@@ -319,6 +304,19 @@ mod tests {
         let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(21));
         cloud.warmup(20);
         let store = shared_store();
+        // Pre-populate one record: the report must count only this
+        // run's probes, not the store's lifetime total.
+        let seeded = crate::probe::ProbeRecord {
+            at: cloud_sim::time::SimTime::ZERO,
+            market: cloud.catalog().markets()[0],
+            kind: ProbeKind::OnDemand,
+            trigger: ProbeTrigger::Recovery,
+            outcome: ProbeOutcome::Fulfilled,
+            spot_ratio: 0.5,
+            bid: None,
+            cost: Price::ZERO,
+        };
+        store.record_probe(seeded);
         let config = LiveConfig {
             policy: PolicyConfig {
                 spike_threshold: 0.5,
@@ -328,8 +326,7 @@ mod tests {
         };
         let (cloud, report) = run_live(cloud, store.clone(), config);
         assert_eq!(report.ticks, 2 * 86_400 / 300);
-        let s = store.lock();
-        assert_eq!(report.probes, s.len());
+        assert_eq!(report.probes, store.len() - 1);
         assert!(
             report.per_region_probes.len() >= 2,
             "both testbed regions should have managers"
@@ -339,7 +336,8 @@ mod tests {
             cloud.now().as_secs(),
             20 * 300 + 2 * 86_400 // warmup + live run
         );
-        // Probe volume equals the per-region sums.
+        // Probe volume equals the per-region sums: nothing is lost
+        // between the workers' direct stripe writes and the store.
         let sum: usize = report.per_region_probes.values().sum();
         assert_eq!(sum, report.probes);
     }
@@ -363,6 +361,6 @@ mod tests {
             },
         );
         assert!(report.probes > 0, "expected probes in three days");
-        assert!(!store.lock().spikes().is_empty());
+        assert!(store.read().spikes().next().is_some());
     }
 }

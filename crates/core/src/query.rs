@@ -7,10 +7,14 @@
 //! on-demand price") and Chapter 6 uses it to steer SpotCheck and SpotOn
 //! toward markets whose on-demand fallbacks are actually obtainable when
 //! spot servers are revoked.
+//!
+//! Queries run over a [`StoreRead`] snapshot of the striped store, so a
+//! batch of queries sees one consistent state and pays the stripe locks
+//! once, not per call.
 
 use crate::budget::SpikeRate;
 use crate::probe::ProbeKind;
-use crate::store::DataStore;
+use crate::store::StoreRead;
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -37,10 +41,10 @@ impl AvailabilityStats {
     }
 }
 
-/// The query interface over a probe database.
+/// The query interface over a probe-database snapshot.
 #[derive(Debug, Clone, Copy)]
 pub struct SpotLightQuery<'a> {
-    store: &'a DataStore,
+    store: &'a StoreRead<'a>,
     /// Observation span the fractions are computed over.
     span: (SimTime, SimTime),
 }
@@ -52,7 +56,7 @@ impl<'a> SpotLightQuery<'a> {
     /// # Panics
     ///
     /// Panics if `end <= start`.
-    pub fn new(store: &'a DataStore, start: SimTime, end: SimTime) -> Self {
+    pub fn new(store: &'a StoreRead<'a>, start: SimTime, end: SimTime) -> Self {
         assert!(end > start, "observation span must be non-empty");
         SpotLightQuery {
             store,
@@ -63,50 +67,50 @@ impl<'a> SpotLightQuery<'a> {
     /// Seconds of measured unavailability of `(market, kind)` inside the
     /// observation span (open intervals run to the span's end).
     ///
-    /// Index-backed: walks only this `(market, kind)`'s intervals, not
-    /// the full interval log.
+    /// Epoch-summarized: whole buckets for the epochs fully inside the
+    /// span plus binary searches of this key's interval index for the
+    /// two boundary epochs — O(buckets + log intervals), not O(intervals
+    /// in span).
     pub fn unavailable_seconds(&self, market: MarketId, kind: ProbeKind) -> u64 {
         let (start, end) = self.span;
-        self.store
-            .intervals_of(market, kind)
-            .map(|i| {
-                let s = i.start.max(start);
-                let e = i.end.unwrap_or(end).min(end);
-                e.saturating_since(s).as_secs()
-            })
-            .sum()
+        self.store.unavailable_seconds_in(market, kind, start, end)
     }
 
     /// Availability summary of `(market, kind)` over the span.
     ///
-    /// Index-backed: probe counts come from the store's running
-    /// per-`(market, kind)` counters (O(1)); interval accounting walks
-    /// only this key's intervals.
+    /// Counter-backed: probe and closed-interval counts come from the
+    /// store's running per-`(market, kind)` counters (O(1)); the
+    /// unavailable fraction comes from the epoch summaries.
     pub fn availability(&self, market: MarketId, kind: ProbeKind) -> AvailabilityStats {
         let (start, end) = self.span;
         let span_secs = (end - start).as_secs().max(1);
         let stats = self.store.probe_stats(market, kind);
-        let intervals = self
-            .store
-            .intervals_of(market, kind)
-            .filter(|i| i.end.is_some())
-            .count() as u64;
         AvailabilityStats {
             probes: stats.informative,
             rejections: stats.rejections,
             unavailable_fraction: self.unavailable_seconds(market, kind) as f64 / span_secs as f64,
-            intervals,
+            intervals: self.store.closed_interval_count(market, kind),
         }
+    }
+
+    /// All measured unavailability durations of a contract kind,
+    /// appended into `out` (cleared first) so batch callers reuse one
+    /// buffer across calls.
+    pub fn unavailability_durations_into(&self, kind: ProbeKind, out: &mut Vec<SimDuration>) {
+        out.clear();
+        out.extend(
+            self.store
+                .intervals()
+                .filter(|i| i.kind == kind)
+                .filter_map(|i| i.duration()),
+        );
     }
 
     /// All measured unavailability durations of a contract kind.
     pub fn unavailability_durations(&self, kind: ProbeKind) -> Vec<SimDuration> {
-        self.store
-            .intervals()
-            .iter()
-            .filter(|i| i.kind == kind)
-            .filter_map(|i| i.duration())
-            .collect()
+        let mut out = Vec::new();
+        self.unavailability_durations_into(kind, &mut out);
+        out
     }
 
     /// Mean time from acquiring a spot instance (at a bid equal to the
@@ -161,7 +165,8 @@ impl<'a> SpotLightQuery<'a> {
     ) -> Option<f64> {
         // Both sides are index-backed: `a`'s detections come from its
         // interval index and `b`'s rejections from its time-sorted
-        // rejection index, so each trial is a binary search.
+        // rejection index, so each trial is a binary search. The shared
+        // read snapshot makes the cross-stripe access free.
         let b_times = self.store.rejection_times(b, ProbeKind::OnDemand);
         let mut trials = 0u64;
         let mut hits = 0u64;
@@ -209,6 +214,10 @@ impl<'a> SpotLightQuery<'a> {
 
     /// Historical spike rates per window at each candidate threshold —
     /// the input to [`crate::budget::calibrate_threshold`] (§3.4).
+    ///
+    /// Served from the per-epoch sorted spike-ratio buckets (a binary
+    /// search per bucket per threshold), not a raw-log scan — so the
+    /// answer is unchanged by compaction.
     pub fn spike_rates(&self, thresholds: &[f64], window: SimDuration) -> Vec<SpikeRate> {
         let (start, end) = self.span;
         let windows = ((end - start).as_secs() as f64 / window.as_secs().max(1) as f64).max(1.0);
@@ -216,18 +225,23 @@ impl<'a> SpotLightQuery<'a> {
             .iter()
             .map(|&t| SpikeRate {
                 threshold: t,
-                spikes_per_window: self.store.spikes().iter().filter(|s| s.ratio >= t).count()
-                    as f64
-                    / windows,
+                spikes_per_window: self.store.spikes_at_or_above(t) as f64 / windows,
             })
             .collect()
     }
 
-    /// Regions ordered by their measured on-demand rejection share — a
-    /// quick "where is the cloud under-provisioned" view (§5.2.2).
-    /// Served from the store's running per-region counters.
+    /// Regions ordered by their measured on-demand rejection share,
+    /// merged into `out` (cleared first) — a quick "where is the cloud
+    /// under-provisioned" view (§5.2.2) served from the stripes' running
+    /// counters without allocating a fresh map per call.
+    pub fn rejection_counts_by_region_into(&self, out: &mut HashMap<Region, u64>) {
+        self.store.od_rejections_into(out);
+    }
+
+    /// Regions ordered by their measured on-demand rejection share, as a
+    /// fresh map.
     pub fn rejection_counts_by_region(&self) -> HashMap<Region, u64> {
-        self.store.od_rejections_by_region().clone()
+        self.store.od_rejections_by_region()
     }
 
     /// Markets that were probed at least once.
@@ -240,7 +254,7 @@ impl<'a> SpotLightQuery<'a> {
 mod tests {
     use super::*;
     use crate::probe::{ProbeOutcome, ProbeRecord, ProbeTrigger};
-    use crate::store::RevocationRecord;
+    use crate::store::{DataStore, RevocationRecord};
     use cloud_sim::ids::{Az, Platform};
     use cloud_sim::price::Price;
 
@@ -271,12 +285,13 @@ mod tests {
 
     #[test]
     fn availability_fraction_from_intervals() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(0, "c3.large");
         s.record_probe(probe(0, m, ProbeOutcome::InsufficientCapacity));
         s.record_probe(probe(900, m, ProbeOutcome::Fulfilled));
         let (a, b) = hour_span();
-        let q = SpotLightQuery::new(&s, a, b);
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, a, b);
         let st = q.availability(m, ProbeKind::OnDemand);
         assert_eq!(st.probes, 2);
         assert_eq!(st.rejections, 1);
@@ -287,17 +302,18 @@ mod tests {
 
     #[test]
     fn open_intervals_run_to_span_end() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(0, "c3.large");
         s.record_probe(probe(1800, m, ProbeOutcome::InsufficientCapacity));
         let (a, b) = hour_span();
-        let q = SpotLightQuery::new(&s, a, b);
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, a, b);
         assert_eq!(q.unavailable_seconds(m, ProbeKind::OnDemand), 1800);
     }
 
     #[test]
     fn mttr_averages_revocations() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(0, "c3.large");
         for (start, end) in [(0u64, 3600u64), (10_000, 11_800)] {
             s.record_revocation(RevocationRecord {
@@ -309,7 +325,8 @@ mod tests {
             });
         }
         let (a, b) = hour_span();
-        let q = SpotLightQuery::new(&s, a, b);
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, a, b);
         assert_eq!(
             q.mean_time_to_revocation(m),
             Some(SimDuration::from_secs((3600 + 1800) / 2))
@@ -319,7 +336,7 @@ mod tests {
 
     #[test]
     fn conditional_unavailability_and_fallbacks() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(0, "c3.large");
         let correlated = market(1, "c3.large");
         let independent = market(1, "m3.large");
@@ -336,7 +353,8 @@ mod tests {
             s.record_probe(probe(t + 400, correlated, ProbeOutcome::Fulfilled));
             s.record_probe(probe(t + 60, independent, ProbeOutcome::Fulfilled));
         }
-        let q = SpotLightQuery::new(&s, SimTime::ZERO, SimTime::from_secs(20_000));
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, SimTime::ZERO, SimTime::from_secs(20_000));
         let w = SimDuration::from_secs(900);
         assert_eq!(q.conditional_unavailability(m, correlated, w), Some(1.0));
         assert_eq!(q.conditional_unavailability(m, independent, w), Some(0.0));
@@ -350,7 +368,7 @@ mod tests {
 
     #[test]
     fn top_available_requires_min_probes() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let good = market(0, "c3.large");
         let sparse = market(1, "c3.large");
         for t in 0..5 {
@@ -358,7 +376,8 @@ mod tests {
         }
         s.record_probe(probe(0, sparse, ProbeOutcome::Fulfilled));
         let (a, b) = hour_span();
-        let q = SpotLightQuery::new(&s, a, b);
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, a, b);
         let top = q.top_available_markets(&[good, sparse], None, 3, 10);
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].0, good);
@@ -366,7 +385,7 @@ mod tests {
 
     #[test]
     fn spike_rates_count_per_window() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let m = market(0, "c3.large");
         for (t, r) in [(0u64, 1.5), (600, 2.5), (1200, 6.0)] {
             s.record_spike(crate::store::SpikeEvent {
@@ -377,7 +396,8 @@ mod tests {
             });
         }
         let (a, b) = hour_span();
-        let q = SpotLightQuery::new(&s, a, b);
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, a, b);
         let rates = q.spike_rates(&[1.0, 2.0, 5.0], SimDuration::from_secs(1800));
         assert_eq!(rates[0].spikes_per_window, 1.5); // 3 spikes / 2 windows
         assert_eq!(rates[1].spikes_per_window, 1.0);
@@ -385,9 +405,28 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_reuse_buffers() {
+        let s = DataStore::new();
+        let m = market(0, "c3.large");
+        s.record_probe(probe(0, m, ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(600, m, ProbeOutcome::Fulfilled));
+        let r = s.read();
+        let (a, b) = hour_span();
+        let q = SpotLightQuery::new(&r, a, b);
+        let mut durations = vec![SimDuration::from_secs(999)];
+        q.unavailability_durations_into(ProbeKind::OnDemand, &mut durations);
+        assert_eq!(durations, vec![SimDuration::from_secs(600)]);
+        let mut counts = HashMap::from([(Region::UsWest1, 42u64)]);
+        q.rejection_counts_by_region_into(&mut counts);
+        assert_eq!(counts, HashMap::from([(Region::UsEast1, 1u64)]));
+        assert_eq!(counts, q.rejection_counts_by_region());
+    }
+
+    #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_span_panics() {
         let s = DataStore::new();
-        let _ = SpotLightQuery::new(&s, SimTime::from_secs(10), SimTime::from_secs(10));
+        let r = s.read();
+        let _ = SpotLightQuery::new(&r, SimTime::from_secs(10), SimTime::from_secs(10));
     }
 }

@@ -121,7 +121,7 @@ impl SpotLight {
         let now = ctx.now();
         let od_price = ctx.cloud.catalog().od_price(market);
         if !self.budget.allows(now, od_price) {
-            self.store.lock().record_suppressed();
+            self.store.record_suppressed();
             return ProbeOutcome::ApiLimited;
         }
         let (outcome, cost) = match ctx.cloud.run_od_instance(market) {
@@ -139,7 +139,9 @@ impl SpotLight {
             .cloud
             .oracle_published_price(market)
             .map_or(0.0, |p| Self::ratio(ctx, market, p));
-        let opened = self.store.lock().record_probe(ProbeRecord {
+        // Build the record before recording it: the store's stripe lock
+        // is held only for the record call itself.
+        let record = ProbeRecord {
             at: now,
             market,
             kind: ProbeKind::OnDemand,
@@ -148,7 +150,8 @@ impl SpotLight {
             spot_ratio,
             bid: None,
             cost,
-        });
+        };
+        let opened = self.store.record_probe(record);
 
         if outcome == ProbeOutcome::Fulfilled {
             self.recovering.remove(&(market, ProbeKind::OnDemand));
@@ -217,7 +220,7 @@ impl SpotLight {
             .unwrap_or(published)
             .min(ctx.cloud.catalog().bid_cap(market));
         if !self.budget.allows(now, published) {
-            self.store.lock().record_suppressed();
+            self.store.record_suppressed();
             return ProbeOutcome::ApiLimited;
         }
         let (outcome, cost) = match ctx.cloud.request_spot_instance(market, bid) {
@@ -246,7 +249,7 @@ impl SpotLight {
             Err(_) => (ProbeOutcome::ApiLimited, Price::ZERO),
         };
         self.budget.charge(now, cost);
-        let opened = self.store.lock().record_probe(ProbeRecord {
+        let record = ProbeRecord {
             at: now,
             market,
             kind: ProbeKind::Spot,
@@ -255,7 +258,8 @@ impl SpotLight {
             spot_ratio: Self::ratio(ctx, market, published),
             bid: Some(bid),
             cost,
-        });
+        };
+        let opened = self.store.record_probe(record);
 
         if outcome == ProbeOutcome::Fulfilled {
             self.recovering.remove(&(market, ProbeKind::Spot));
@@ -306,7 +310,7 @@ impl SpotLight {
             probed = outcome.is_informative();
         }
         if probed {
-            self.store.lock().record_spike(SpikeEvent {
+            self.store.record_spike(SpikeEvent {
                 market,
                 at: now,
                 ratio,
@@ -328,7 +332,7 @@ impl SpotLight {
         let now = ctx.now();
         let bid = ctx.cloud.catalog().od_price(market);
         if !self.budget.allows(now, bid) {
-            self.store.lock().record_suppressed();
+            self.store.record_suppressed();
             return;
         }
         match ctx.cloud.request_spot_instance(market, bid) {
@@ -389,9 +393,8 @@ impl SpotLight {
         if self.budget.allows(now, est) {
             if let Some(result) = find_intrinsic_bid(ctx.cloud, market, 6) {
                 self.budget.charge(now, result.cost);
-                let mut store = self.store.lock();
                 if let Some(intrinsic) = result.intrinsic {
-                    store.record_intrinsic_bid(IntrinsicBidRecord {
+                    self.store.record_intrinsic_bid(IntrinsicBidRecord {
                         market,
                         at: now,
                         published: result.published,
@@ -400,7 +403,7 @@ impl SpotLight {
                     });
                 }
                 // The search's requests are probes too.
-                store.record_probe(ProbeRecord {
+                self.store.record_probe(ProbeRecord {
                     at: now,
                     market,
                     kind: ProbeKind::Spot,
@@ -416,7 +419,7 @@ impl SpotLight {
                 });
             }
         } else {
-            self.store.lock().record_suppressed();
+            self.store.record_suppressed();
         }
         let at = now + self.cfg.bidspread_interval;
         self.schedule(ctx, at, Action::BidSpread(idx));
@@ -429,7 +432,7 @@ impl SpotLight {
         self.held_markets.remove(&hold.market);
         let now = ctx.now();
         if ctx.cloud.terminate_spot_instance(request).is_ok() {
-            self.store.lock().record_revocation(RevocationRecord {
+            self.store.record_revocation(RevocationRecord {
                 market: hold.market,
                 acquired_at: hold.acquired_at,
                 bid: hold.bid,
@@ -494,7 +497,7 @@ impl Agent for SpotLight {
             CloudEvent::SpotTerminatedByPrice { request, at, .. } => {
                 if let Some(hold) = self.holds.remove(&request) {
                     self.held_markets.remove(&hold.market);
-                    self.store.lock().record_revocation(RevocationRecord {
+                    self.store.record_revocation(RevocationRecord {
                         market: hold.market,
                         acquired_at: hold.acquired_at,
                         bid: hold.bid,
@@ -542,14 +545,14 @@ mod tests {
             ..SpotLightConfig::default()
         };
         let store = run_spotlight(3, 11, cfg);
-        let s = store.lock();
+        let s = store.read();
         assert!(!s.is_empty(), "expected probes on a volatile testbed");
         assert!(
-            s.probes().iter().any(|p| p.kind == ProbeKind::Spot),
+            s.probes().any(|p| p.kind == ProbeKind::Spot),
             "spot checks should run"
         );
         assert!(
-            s.spikes().iter().all(|sp| sp.probed),
+            s.spikes().all(|sp| sp.probed),
             "recorded spikes are probed spikes"
         );
         // Every closed interval ends after it starts.
@@ -571,16 +574,15 @@ mod tests {
             ..SpotLightConfig::default()
         };
         let store = run_spotlight(5, 13, cfg);
-        let s = store.lock();
+        let s = store.read();
         let detections = s
             .probes()
-            .iter()
             .filter(|p| {
                 p.outcome == ProbeOutcome::InsufficientCapacity
                     && matches!(p.trigger, ProbeTrigger::PriceSpike { .. })
             })
             .count();
-        let related = s.probes().iter().filter(|p| p.trigger.is_related()).count();
+        let related = s.probes().filter(|p| p.trigger.is_related()).count();
         if detections > 0 {
             assert!(related > 0, "detections must trigger related-market probes");
         }
@@ -610,13 +612,13 @@ mod tests {
         };
         let tight_store = run_spotlight(3, 17, tight);
         let free_store = run_spotlight(3, 17, unlimited);
-        let tight_cost = tight_store.lock().total_cost();
-        let free_cost = free_store.lock().total_cost();
+        let tight_cost = tight_store.total_cost();
+        let free_cost = free_store.total_cost();
         assert!(
             tight_cost < free_cost,
             "tight budget must spend less: {tight_cost} vs {free_cost}"
         );
-        assert!(tight_store.lock().suppressed_probes() > 0);
+        assert!(tight_store.suppressed_probes() > 0);
     }
 
     #[test]
@@ -639,9 +641,8 @@ mod tests {
         };
         let spike_probes = |store: &crate::store::SharedStore| {
             store
-                .lock()
+                .read()
                 .probes()
-                .iter()
                 .filter(|p| matches!(p.trigger, ProbeTrigger::PriceSpike { .. }))
                 .count()
         };

@@ -3,47 +3,164 @@
 //!
 //! The prototype in the paper logged "all states and status changes
 //! timestamps ... into database" through a dedicated database manager
-//! (Chapter 4). Here the store is an indexed in-memory log; the analysis
-//! (`crate::analysis`) and the query interface (`crate::query`) are pure
-//! functions over it.
+//! (Chapter 4). Here the store is a **lock-striped, epoch-summarized
+//! in-memory log**: the analysis (`crate::analysis`) and the query
+//! interface (`crate::query`) are pure functions over a [`StoreRead`]
+//! snapshot of it.
+//!
+//! # Striping
+//!
+//! Records are routed to one of N stripes by a hash of their market id;
+//! each stripe sits behind its own [`crate::sync::RwLock`]. Ingest
+//! (`record_*`, all `&self`) write-locks exactly one stripe, so
+//! concurrent probe workers in live mode only contend when they hit the
+//! same stripe. Reads go through [`DataStore::read`], which acquires
+//! every stripe's read lock (in stripe order, so readers never deadlock
+//! against writers) and exposes the whole-log iteration and per-market
+//! index API on the combined snapshot. Store-wide counters
+//! (`len`, `total_cost`, `suppressed_probes`) are lock-free atomics.
 //!
 //! # Index invariants
 //!
-//! The log itself (`probes`, `intervals`, `revocations`, …) is strictly
-//! append-only; records are never reordered or removed. On top of it the
-//! store maintains secondary indices so per-market queries never scan
-//! the full log:
+//! Within a stripe the log slabs (`probes`, `spikes`, `intervals`, …)
+//! are append-only between compactions; secondary indices refer to
+//! records by their position in the owning slab:
 //!
-//! * `probes_by_market` / `revocations_by_market` — per-market record
-//!   indices, kept **sorted by timestamp**. Probes arrive in
-//!   non-decreasing time order from the engine, so maintaining the sort
-//!   is an O(1) append in the common case; a rare out-of-order insert
-//!   (live mode's thread interleavings) costs a binary-search insertion.
-//!   Sorted order is what turns time-range queries into binary searches
-//!   ([`DataStore::probes_between`]).
-//! * `intervals_by_key` — unavailability-interval indices per
-//!   `(market, kind)`, in interval-open order (monotone, since
-//!   intervals open at probe time).
-//! * `rejection_times` — the timestamps of unavailable-outcome probes
-//!   per `(market, kind)`, time-sorted; the correlation analyses binary
-//!   search these.
-//! * `probe_stats` — running informative/rejection counters per
-//!   `(market, kind)`, so availability summaries are O(1) in the probe
-//!   count.
-//! * `open_intervals` — at most one open interval per `(market, kind)`,
-//!   pointing into `intervals`.
+//! * `probes_by_market` — per-market record indices, kept **sorted by
+//!   timestamp**. Probes arrive in non-decreasing time order from the
+//!   engine, so maintaining the sort is an O(1) append in the common
+//!   case; a rare out-of-order insert (live mode's thread
+//!   interleavings) costs a binary-search insertion. Sorted order is
+//!   what turns time-range queries into binary searches
+//!   ([`StoreRead::probes_between`]).
+//! * `keys` — one [`KeyState`] per `(market, kind)` holding everything
+//!   the per-key queries need in a single hash lookup: running
+//!   informative/rejection counters, the key's interval index (in
+//!   interval-open order), the at-most-one open interval, the
+//!   time-sorted rejection timestamps, the closed-interval counter,
+//!   and the key's epoch summary.
 //!
-//! Every index refers to records by their position in the append-only
-//! log, so an index entry is never invalidated.
+//! # Epoch summaries
+//!
+//! Each `(market, kind)` additionally maintains fixed-width time
+//! buckets ([`DataStore::epoch_width`], default one hour) with
+//! informative/rejection counts and **closed-unavailable seconds**,
+//! updated incrementally at ingest (interval seconds are distributed
+//! over the epochs they cover when the interval closes). Window sweeps
+//! ([`StoreRead::unavailable_seconds_in`]) read whole buckets for the
+//! epochs fully inside the query span and binary-search the key's
+//! interval index only for the two boundary epochs — O(buckets in
+//! span plus log intervals) instead of O(intervals in span). The fast path
+//! requires the key's intervals to be start-sorted and non-overlapping
+//! (always true for the engine's monotone timestamps); a key that ever
+//! observes out-of-order interval bookkeeping is flagged and falls back
+//! to the exact full walk. Spike ratios are likewise bucketed per epoch
+//! in sorted lists, so threshold counts ([`StoreRead::spikes_at_or_above`])
+//! are binary searches per bucket, independent of the raw spike log.
+//!
+//! # Compaction
+//!
+//! [`DataStore::compact`] folds records strictly older than a retention
+//! horizon into the summaries and frees the raw slabs: probe and spike
+//! records are dropped (their contributions already live in the running
+//! counters, rejection-time indices, interval log, and epoch
+//! summaries), while intervals, rejection timestamps, revocations, and
+//! intrinsic bids — the small derived structures every summarized query
+//! is answered from — are retained in full. Summarized queries
+//! (`availability`, `unavailable_seconds`, `spike_rates`,
+//! `top_available_markets`, `conditional_unavailability`,
+//! `mean_time_to_revocation`, the running counters) therefore return
+//! bit-identical results before and after compaction; only raw-log
+//! iteration (`probes*`, `spikes`) shrinks to the retained window.
+//! [`DataStore::len`] keeps counting every probe ever recorded;
+//! [`DataStore::resident_records`] / [`DataStore::resident_bytes`]
+//! report what is actually held.
 
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, UnavailabilityInterval};
-use crate::sync::Mutex;
+use crate::sync::{RwLock, RwLockReadGuard};
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::price::Price;
-use cloud_sim::time::SimTime;
+use cloud_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default stripe count (markets hash across these).
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// rustc-hash-style multiplicative hasher. Two properties matter here:
+/// it is a few ns per `MarketId` (the store hashes a market on every
+/// record and every per-market lookup — SipHash showed up as 30%+ on
+/// the indexed query benches), and it is deterministic across
+/// processes, so stripe layout and map iteration order are stable for
+/// bench snapshots and reproducible output.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                tail |= u64::from(b) << (8 * i);
+            }
+            self.add(tail);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Default epoch-summary bucket width.
+pub const DEFAULT_EPOCH: SimDuration = SimDuration::from_secs(3600);
 
 /// A spike observation: a published price crossing SpotLight's radar.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,38 +217,146 @@ pub struct ProbeStats {
     pub rejections: u64,
 }
 
-/// The in-memory database.
-#[derive(Debug, Default)]
-pub struct DataStore {
-    probes: Vec<ProbeRecord>,
-    probes_by_market: HashMap<MarketId, Vec<usize>>,
-    spikes: Vec<SpikeEvent>,
-    intervals: Vec<UnavailabilityInterval>,
-    intervals_by_key: HashMap<(MarketId, ProbeKind), Vec<usize>>,
-    open_intervals: HashMap<(MarketId, ProbeKind), usize>,
-    rejection_times: HashMap<(MarketId, ProbeKind), Vec<SimTime>>,
-    probe_stats: HashMap<(MarketId, ProbeKind), ProbeStats>,
-    od_rejections_by_region: HashMap<Region, u64>,
-    revocations: Vec<RevocationRecord>,
-    revocations_by_market: HashMap<MarketId, Vec<usize>>,
-    intrinsic_bids: Vec<IntrinsicBidRecord>,
-    total_cost: Price,
-    suppressed_probes: u64,
+/// What one [`DataStore::compact`] pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Raw probe records dropped (folded into the summaries).
+    pub dropped_probes: u64,
+    /// Raw spike records dropped (ratios remain in the epoch buckets).
+    pub dropped_spikes: u64,
 }
 
-/// A shareable handle to the store (engine agents and live-mode threads
-/// both write through this).
-pub type SharedStore = Arc<Mutex<DataStore>>;
+/// One epoch bucket of a `(market, kind)` summary.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochCell {
+    informative: u64,
+    rejections: u64,
+    unavail_secs: u64,
+}
+
+/// A dense, growable run of epoch buckets starting at epoch `first`.
+#[derive(Debug, Default)]
+struct EpochSeries {
+    first: u64,
+    cells: Vec<EpochCell>,
+}
+
+impl EpochSeries {
+    /// Mutable access to epoch `e`'s cell, growing the run as needed.
+    fn cell(&mut self, e: u64) -> &mut EpochCell {
+        if self.cells.is_empty() {
+            self.first = e;
+            self.cells.push(EpochCell::default());
+        } else if e < self.first {
+            // Rare (out-of-order live-mode arrivals): prepend.
+            let missing = (self.first - e) as usize;
+            self.cells
+                .splice(0..0, std::iter::repeat_n(EpochCell::default(), missing));
+            self.first = e;
+        } else if e >= self.first + self.cells.len() as u64 {
+            let needed = (e - self.first) as usize + 1;
+            self.cells.resize(needed, EpochCell::default());
+        }
+        &mut self.cells[(e - self.first) as usize]
+    }
+
+    /// Sum of closed-unavailable seconds over epochs `[from, to)`.
+    fn unavail_in(&self, from: u64, to: u64) -> u64 {
+        let lo = from.max(self.first);
+        let hi = to.min(self.first + self.cells.len() as u64);
+        if hi <= lo {
+            return 0;
+        }
+        self.cells[(lo - self.first) as usize..(hi - self.first) as usize]
+            .iter()
+            .map(|c| c.unavail_secs)
+            .sum()
+    }
+
+    /// Sum of (informative, rejection) counts over epochs `[from, to)`.
+    fn counts_in(&self, from: u64, to: u64) -> (u64, u64) {
+        let lo = from.max(self.first);
+        let hi = to.min(self.first + self.cells.len() as u64);
+        if hi <= lo {
+            return (0, 0);
+        }
+        self.cells[(lo - self.first) as usize..(hi - self.first) as usize]
+            .iter()
+            .fold((0, 0), |(i, r), c| (i + c.informative, r + c.rejections))
+    }
+}
+
+/// Everything one `(market, kind)` key maintains, reachable in a single
+/// hash lookup at ingest.
+#[derive(Debug, Default)]
+struct KeyState {
+    stats: ProbeStats,
+    /// Indices into the stripe's interval slab, in interval-open order.
+    intervals: Vec<usize>,
+    /// The at-most-one open interval, as an index into the slab.
+    open: Option<usize>,
+    closed_intervals: u64,
+    /// Time-sorted timestamps of unavailable-outcome probes.
+    rejection_times: Vec<SimTime>,
+    epochs: EpochSeries,
+    /// Set once the key's intervals stop being start-sorted and
+    /// non-overlapping (possible under live-mode reordering); the
+    /// epoch fast path then yields to the exact full walk.
+    disordered: bool,
+}
+
+/// One lock stripe: a shard of the log plus its secondary indices.
+#[derive(Debug, Default)]
+struct Stripe {
+    probes: Vec<ProbeRecord>,
+    probes_by_market: FxHashMap<MarketId, Vec<usize>>,
+    spikes: Vec<SpikeEvent>,
+    /// Sorted spike ratios per epoch — the summary `spike_rates` reads;
+    /// holds every spike ever recorded (compaction keeps it intact).
+    spike_ratios_by_epoch: FxHashMap<u64, Vec<f64>>,
+    intervals: Vec<UnavailabilityInterval>,
+    keys: FxHashMap<(MarketId, ProbeKind), KeyState>,
+    od_rejections_by_region: HashMap<Region, u64>,
+    revocations: Vec<RevocationRecord>,
+    revocations_by_market: FxHashMap<MarketId, Vec<usize>>,
+    intrinsic_bids: Vec<IntrinsicBidRecord>,
+}
+
+/// The in-memory database: N independently locked stripes plus
+/// store-wide atomic counters.
+#[derive(Debug)]
+pub struct DataStore {
+    stripes: Box<[RwLock<Stripe>]>,
+    epoch_secs: u64,
+    recorded_probes: AtomicU64,
+    total_cost_micros: AtomicU64,
+    suppressed_probes: AtomicU64,
+}
+
+impl Default for DataStore {
+    fn default() -> Self {
+        DataStore::new()
+    }
+}
+
+/// A shareable handle to the store. Writers (`record_*`) go straight
+/// through `&self` — the striping is internal — so engine agents and
+/// live-mode threads share it without an outer lock.
+pub type SharedStore = Arc<DataStore>;
 
 /// Creates an empty shared store.
 pub fn shared_store() -> SharedStore {
-    Arc::new(Mutex::new(DataStore::default()))
+    Arc::new(DataStore::new())
 }
 
 /// Inserts `item` into a vector kept sorted by `key_of`. Appends in
 /// O(1) when the new item's key is the latest (the engine's monotone
 /// case); binary-search inserts otherwise.
-fn insert_sorted_by<T: Copy, K: Ord>(sorted: &mut Vec<T>, item: T, key_of: impl Fn(&T) -> K) {
+fn insert_sorted_by<T: Copy, K: PartialOrd>(
+    sorted: &mut Vec<T>,
+    item: T,
+    key_of: impl Fn(&T) -> K,
+) {
     match sorted.last() {
         Some(last) if key_of(last) > key_of(&item) => {
             let pos = sorted.partition_point(|x| key_of(x) <= key_of(&item));
@@ -141,54 +366,265 @@ fn insert_sorted_by<T: Copy, K: Ord>(sorted: &mut Vec<T>, item: T, key_of: impl 
     }
 }
 
+/// Distributes a closed interval's `[start, end)` seconds over the
+/// epoch buckets it covers.
+fn add_closed_span(epochs: &mut EpochSeries, start: u64, end: u64, width: u64) {
+    if end <= start {
+        return;
+    }
+    let last = (end - 1) / width;
+    for e in (start / width)..=last {
+        let lo = start.max(e * width);
+        let hi = end.min((e + 1) * width);
+        epochs.cell(e).unavail_secs += hi - lo;
+    }
+}
+
 impl DataStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default layout
+    /// ([`DEFAULT_STRIPES`] stripes, [`DEFAULT_EPOCH`] epochs).
     pub fn new() -> Self {
-        DataStore::default()
+        DataStore::with_layout(DEFAULT_STRIPES, DEFAULT_EPOCH)
+    }
+
+    /// Creates an empty store with `stripes` lock stripes and `epoch`
+    /// wide summary buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` is zero or `epoch` is zero-length.
+    pub fn with_layout(stripes: usize, epoch: SimDuration) -> Self {
+        assert!(stripes > 0, "need at least one stripe");
+        assert!(epoch.as_secs() > 0, "epoch width must be positive");
+        DataStore {
+            stripes: (0..stripes).map(|_| RwLock::default()).collect(),
+            epoch_secs: epoch.as_secs(),
+            recorded_probes: AtomicU64::new(0),
+            total_cost_micros: AtomicU64::new(0),
+            suppressed_probes: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The configured epoch-summary bucket width.
+    pub fn epoch_width(&self) -> SimDuration {
+        SimDuration::from_secs(self.epoch_secs)
+    }
+
+    fn stripe_of(&self, market: MarketId) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        market.hash(&mut h);
+        let h = h.finish();
+        // Fold the well-mixed high bits into the low bits the modulo
+        // looks at.
+        ((h >> 32) ^ h) as usize % self.stripes.len()
+    }
+
+    /// Acquires a consistent read snapshot over every stripe. Readers
+    /// share; writers to any stripe wait until the snapshot is dropped.
+    pub fn read(&self) -> StoreRead<'_> {
+        StoreRead {
+            store: self,
+            stripes: self.stripes.iter().map(|s| s.read()).collect(),
+        }
     }
 
     /// Records a probe, maintaining unavailability intervals: a rejected
     /// probe opens an interval for its `(market, kind)` (if none is
     /// open); a fulfilled probe closes it. Returns `true` when this
     /// probe *opened* a new interval — i.e. it is an initial detection.
-    pub fn record_probe(&mut self, probe: ProbeRecord) -> bool {
+    ///
+    /// Locks only the market's stripe; concurrent callers for other
+    /// stripes proceed in parallel.
+    pub fn record_probe(&self, probe: ProbeRecord) -> bool {
+        self.recorded_probes.fetch_add(1, Ordering::Relaxed);
+        self.total_cost_micros
+            .fetch_add(probe.cost.as_micros(), Ordering::Relaxed);
+        let epoch = probe.at.as_secs() / self.epoch_secs;
+        let mut stripe = self.stripes[self.stripe_of(probe.market)].write();
+        stripe.record_probe(probe, epoch, self.epoch_secs)
+    }
+
+    /// Records a spike observation (raw log + epoch ratio summary).
+    pub fn record_spike(&self, spike: SpikeEvent) {
+        let epoch = spike.at.as_secs() / self.epoch_secs;
+        let mut stripe = self.stripes[self.stripe_of(spike.market)].write();
+        stripe.spikes.push(spike);
+        let ratios = stripe.spike_ratios_by_epoch.entry(epoch).or_default();
+        insert_sorted_by(ratios, spike.ratio, |&r| r);
+    }
+
+    /// Records that the policy wanted to probe but was suppressed by
+    /// budget or service limits.
+    pub fn record_suppressed(&self) {
+        self.suppressed_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a revocation-watch observation.
+    pub fn record_revocation(&self, rec: RevocationRecord) {
+        let mut stripe = self.stripes[self.stripe_of(rec.market)].write();
+        let idx = stripe.revocations.len();
+        stripe.revocations.push(rec);
+        let Stripe {
+            revocations,
+            revocations_by_market,
+            ..
+        } = &mut *stripe;
+        insert_sorted_by(
+            revocations_by_market.entry(rec.market).or_default(),
+            idx,
+            |&i| revocations[i].acquired_at,
+        );
+    }
+
+    /// Records an intrinsic-bid measurement.
+    pub fn record_intrinsic_bid(&self, rec: IntrinsicBidRecord) {
+        self.stripes[self.stripe_of(rec.market)]
+            .write()
+            .intrinsic_bids
+            .push(rec);
+    }
+
+    /// Folds raw records strictly older than `before` into the
+    /// summaries and frees their slabs. Intervals, rejection
+    /// timestamps, epoch summaries, revocations, intrinsic bids, and
+    /// every running counter are retained, so summarized queries are
+    /// unchanged; raw-log iteration shrinks to the retained window.
+    pub fn compact(&self, before: SimTime) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        for stripe in &self.stripes {
+            let mut s = stripe.write();
+            stats.dropped_probes += s.compact_probes(before);
+            stats.dropped_spikes += s.compact_spikes(before);
+        }
+        stats
+    }
+
+    /// Raw records currently resident (probes + spikes + revocations +
+    /// intrinsic bids). [`DataStore::compact`] lowers this;
+    /// [`DataStore::len`] is unaffected.
+    pub fn resident_records(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| {
+                let s = s.read();
+                (s.probes.len() + s.spikes.len() + s.revocations.len() + s.intrinsic_bids.len())
+                    as u64
+            })
+            .sum()
+    }
+
+    /// Approximate resident heap footprint of the store's slabs and
+    /// indices, in bytes (capacities × element sizes; hash-map control
+    /// overhead is not counted).
+    pub fn resident_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = 0usize;
+        for stripe in &self.stripes {
+            let s = stripe.read();
+            bytes += s.probes.capacity() * size_of::<ProbeRecord>();
+            bytes += s.spikes.capacity() * size_of::<SpikeEvent>();
+            bytes += s.intervals.capacity() * size_of::<UnavailabilityInterval>();
+            bytes += s.revocations.capacity() * size_of::<RevocationRecord>();
+            bytes += s.intrinsic_bids.capacity() * size_of::<IntrinsicBidRecord>();
+            bytes += s
+                .probes_by_market
+                .values()
+                .map(|v| v.capacity() * size_of::<usize>())
+                .sum::<usize>();
+            bytes += s
+                .revocations_by_market
+                .values()
+                .map(|v| v.capacity() * size_of::<usize>())
+                .sum::<usize>();
+            bytes += s
+                .spike_ratios_by_epoch
+                .values()
+                .map(|v| v.capacity() * size_of::<f64>())
+                .sum::<usize>();
+            bytes += s
+                .keys
+                .values()
+                .map(|k| {
+                    k.intervals.capacity() * size_of::<usize>()
+                        + k.rejection_times.capacity() * size_of::<SimTime>()
+                        + k.epochs.cells.capacity() * size_of::<EpochCell>()
+                })
+                .sum::<usize>();
+        }
+        bytes as u64
+    }
+
+    /// Total money spent on probes.
+    pub fn total_cost(&self) -> Price {
+        Price::from_micros(self.total_cost_micros.load(Ordering::Relaxed))
+    }
+
+    /// Probes suppressed by budget or service limits.
+    pub fn suppressed_probes(&self) -> u64 {
+        self.suppressed_probes.load(Ordering::Relaxed)
+    }
+
+    /// Number of probes recorded over the store's lifetime (compaction
+    /// does not lower this).
+    pub fn len(&self) -> usize {
+        self.recorded_probes.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when no probes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Stripe {
+    fn record_probe(&mut self, probe: ProbeRecord, epoch: u64, epoch_secs: u64) -> bool {
         let idx = self.probes.len();
         self.probes.push(probe);
         let by_market = self.probes_by_market.entry(probe.market).or_default();
         let probes = &self.probes;
         insert_sorted_by(by_market, idx, |&i| probes[i].at);
-        self.total_cost += probe.cost;
 
         let key = (probe.market, probe.kind);
+        let state = self.keys.entry(key).or_default();
         if probe.outcome.is_informative() {
-            let stats = self.probe_stats.entry(key).or_default();
-            stats.informative += 1;
+            state.stats.informative += 1;
+            let cell = state.epochs.cell(epoch);
+            cell.informative += 1;
             if probe.outcome.is_unavailable() {
-                stats.rejections += 1;
+                state.stats.rejections += 1;
+                cell.rejections += 1;
             }
         }
 
         if probe.outcome.is_unavailable() {
-            insert_sorted_by(
-                self.rejection_times.entry(key).or_default(),
-                probe.at,
-                |&t| t,
-            );
+            insert_sorted_by(&mut state.rejection_times, probe.at, |&t| t);
             if probe.kind == ProbeKind::OnDemand {
                 *self
                     .od_rejections_by_region
                     .entry(probe.market.region())
                     .or_insert(0) += 1;
             }
-            if self.open_intervals.contains_key(&key) {
+            if state.open.is_some() {
                 return false;
             }
+            // Opening a new interval: the previous one (necessarily
+            // closed) must end at or before this start for the epoch
+            // fast path to stay valid.
+            if let Some(&last) = state.intervals.last() {
+                let prev = &self.intervals[last];
+                if probe.at < prev.start || prev.end.is_some_and(|e| probe.at < e) {
+                    state.disordered = true;
+                }
+            }
             let interval_idx = self.intervals.len();
-            self.open_intervals.insert(key, interval_idx);
-            self.intervals_by_key
-                .entry(key)
-                .or_default()
-                .push(interval_idx);
+            state.open = Some(interval_idx);
+            state.intervals.push(interval_idx);
             self.intervals.push(UnavailabilityInterval {
                 market: probe.market,
                 kind: probe.kind,
@@ -200,81 +636,228 @@ impl DataStore {
             true
         } else {
             if probe.outcome == ProbeOutcome::Fulfilled {
-                if let Some(idx) = self.open_intervals.remove(&key) {
-                    self.intervals[idx].end = Some(probe.at);
+                if let Some(idx) = state.open.take() {
+                    let interval = &mut self.intervals[idx];
+                    interval.end = Some(probe.at);
+                    state.closed_intervals += 1;
+                    if probe.at < interval.start {
+                        state.disordered = true;
+                    }
+                    add_closed_span(
+                        &mut state.epochs,
+                        interval.start.as_secs(),
+                        probe.at.as_secs(),
+                        epoch_secs,
+                    );
                 }
             }
             false
         }
     }
 
-    /// Records a spike observation.
-    pub fn record_spike(&mut self, spike: SpikeEvent) {
-        self.spikes.push(spike);
+    /// Drops probe records older than `before`, remapping the
+    /// per-market indices onto the retained slab. Markets whose probes
+    /// are all compacted keep their (empty) index entry so
+    /// `probed_markets` stays a lifetime fact.
+    fn compact_probes(&mut self, before: SimTime) -> u64 {
+        let old_len = self.probes.len();
+        if old_len == 0 {
+            return 0;
+        }
+        let mut remap = vec![usize::MAX; old_len];
+        let mut kept = Vec::new();
+        for (i, p) in self.probes.iter().enumerate() {
+            if p.at >= before {
+                remap[i] = kept.len();
+                kept.push(*p);
+            }
+        }
+        if kept.len() == old_len {
+            return 0;
+        }
+        kept.shrink_to_fit();
+        self.probes = kept;
+        for ids in self.probes_by_market.values_mut() {
+            ids.retain_mut(|id| {
+                if remap[*id] == usize::MAX {
+                    false
+                } else {
+                    *id = remap[*id];
+                    true
+                }
+            });
+            ids.shrink_to_fit();
+        }
+        (old_len - self.probes.len()) as u64
     }
 
-    /// Records that the policy wanted to probe but was suppressed by
-    /// budget or service limits.
-    pub fn record_suppressed(&mut self) {
-        self.suppressed_probes += 1;
+    /// Drops spike records older than `before`; their ratios stay in
+    /// the epoch buckets, so `spike_rates` is unchanged.
+    fn compact_spikes(&mut self, before: SimTime) -> u64 {
+        let old_len = self.spikes.len();
+        self.spikes.retain(|s| s.at >= before);
+        self.spikes.shrink_to_fit();
+        (old_len - self.spikes.len()) as u64
     }
 
-    /// Records a revocation-watch observation.
-    pub fn record_revocation(&mut self, rec: RevocationRecord) {
-        let idx = self.revocations.len();
-        self.revocations.push(rec);
-        let by_market = self.revocations_by_market.entry(rec.market).or_default();
-        let revocations = &self.revocations;
-        insert_sorted_by(by_market, idx, |&i| revocations[i].acquired_at);
+    /// Exact closed-interval overlap with `[from, to)` for a key on the
+    /// epoch fast path (start-sorted, non-overlapping intervals): one
+    /// binary search plus a scan of the intervals starting inside the
+    /// range. The open interval, if any, is the caller's business.
+    fn closed_overlap(&self, state: &KeyState, from: u64, to: u64) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let ids = &state.intervals;
+        let first = ids.partition_point(|&id| self.intervals[id].start.as_secs() < from);
+        let mut total = 0u64;
+        if first > 0 {
+            // At most one closed interval can straddle `from`.
+            let prev = &self.intervals[ids[first - 1]];
+            if let Some(end) = prev.end {
+                let e = end.as_secs().min(to);
+                total += e.saturating_sub(from.max(prev.start.as_secs()));
+            }
+        }
+        for &id in &ids[first..] {
+            let interval = &self.intervals[id];
+            let s = interval.start.as_secs();
+            if s >= to {
+                break;
+            }
+            if let Some(end) = interval.end {
+                total += end.as_secs().min(to).saturating_sub(s);
+            }
+        }
+        total
     }
 
-    /// Records an intrinsic-bid measurement.
-    pub fn record_intrinsic_bid(&mut self, rec: IntrinsicBidRecord) {
-        self.intrinsic_bids.push(rec);
+    /// Seconds of measured unavailability of `key` inside `[from, to)`,
+    /// open intervals running to `to`. Epoch-summarized: whole buckets
+    /// for the epochs fully inside the span, binary searches for the
+    /// two boundary epochs; exact full walk for disordered keys.
+    fn unavailable_seconds_in(
+        &self,
+        key: (MarketId, ProbeKind),
+        from: SimTime,
+        to: SimTime,
+        epoch_secs: u64,
+    ) -> u64 {
+        let Some(state) = self.keys.get(&key) else {
+            return 0;
+        };
+        let (a, b) = (from.as_secs(), to.as_secs());
+        if b <= a {
+            return 0;
+        }
+        let closed = if state.disordered {
+            state
+                .intervals
+                .iter()
+                .filter_map(|&id| {
+                    let interval = &self.intervals[id];
+                    interval.end.map(|end| {
+                        end.as_secs()
+                            .min(b)
+                            .saturating_sub(interval.start.as_secs().max(a))
+                    })
+                })
+                .sum()
+        } else {
+            let first_full = a.div_ceil(epoch_secs);
+            let end_full = b / epoch_secs;
+            // Adaptive: the epoch path touches one cell per in-span
+            // bucket, the index walk one entry per interval — pick
+            // whichever is smaller (sparse keys over long spans are
+            // cheaper to walk; dense keys are cheaper to bucket-sum).
+            let buckets = end_full.saturating_sub(first_full);
+            if first_full >= end_full || (state.intervals.len() as u64) < buckets {
+                self.closed_overlap(state, a, b)
+            } else {
+                self.closed_overlap(state, a, first_full * epoch_secs)
+                    + state.epochs.unavail_in(first_full, end_full)
+                    + self.closed_overlap(state, end_full * epoch_secs, b)
+            }
+        };
+        let open = state.open.map_or(0, |id| {
+            b.saturating_sub(self.intervals[id].start.as_secs().max(a))
+        });
+        closed + open
+    }
+}
+
+/// A consistent read snapshot over every stripe: the whole query and
+/// analysis surface of the store. Holding one blocks writers, so drop
+/// it before resuming ingest-heavy work.
+#[derive(Debug)]
+pub struct StoreRead<'a> {
+    store: &'a DataStore,
+    stripes: Vec<RwLockReadGuard<'a, Stripe>>,
+}
+
+impl StoreRead<'_> {
+    fn stripe_for(&self, market: MarketId) -> &Stripe {
+        &self.stripes[self.store.stripe_of(market)]
     }
 
-    /// All probes, oldest first.
-    pub fn probes(&self) -> &[ProbeRecord] {
-        &self.probes
+    /// All resident probes, stripe by stripe (oldest first within a
+    /// market; cross-market order is stripe layout, not global time).
+    pub fn probes(&self) -> impl Iterator<Item = &ProbeRecord> + '_ {
+        self.stripes.iter().flat_map(|s| s.probes.iter())
     }
 
-    /// The probes of one market, oldest first.
+    /// The resident probes of one market, oldest first.
     pub fn probes_of(&self, market: MarketId) -> impl Iterator<Item = &ProbeRecord> + '_ {
-        self.probes_by_market
+        let stripe = self.stripe_for(market);
+        stripe
+            .probes_by_market
             .get(&market)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.probes[i])
+            .map(move |&i| &stripe.probes[i])
     }
 
-    /// The probes of one market inside `[from, to]`, oldest first — a
-    /// binary search over the time-sorted per-market index, O(log n +
-    /// matches) rather than O(market probes).
+    /// The resident probes of one market inside `[from, to]`, oldest
+    /// first — a binary search over the time-sorted per-market index,
+    /// O(log n + matches) rather than O(market probes).
     pub fn probes_between(
         &self,
         market: MarketId,
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &ProbeRecord> + '_ {
-        let index: &[usize] = self
+        let stripe = self.stripe_for(market);
+        let index: &[usize] = stripe
             .probes_by_market
             .get(&market)
             .map_or(&[], |v| v.as_slice());
-        let lo = index.partition_point(|&i| self.probes[i].at < from);
+        let lo = index.partition_point(|&i| stripe.probes[i].at < from);
         index[lo..]
             .iter()
-            .map(move |&i| &self.probes[i])
+            .map(move |&i| &stripe.probes[i])
             .take_while(move |p| p.at <= to)
     }
 
-    /// All spike observations.
-    pub fn spikes(&self) -> &[SpikeEvent] {
-        &self.spikes
+    /// All resident spike observations.
+    pub fn spikes(&self) -> impl Iterator<Item = &SpikeEvent> + '_ {
+        self.stripes.iter().flat_map(|s| s.spikes.iter())
     }
 
-    /// All unavailability intervals (open ones have `end == None`).
-    pub fn intervals(&self) -> &[UnavailabilityInterval] {
-        &self.intervals
+    /// Spikes with `ratio >= threshold`, counted over the store's
+    /// lifetime from the per-epoch sorted ratio buckets (a binary
+    /// search per bucket; unaffected by compaction).
+    pub fn spikes_at_or_above(&self, threshold: f64) -> u64 {
+        self.stripes
+            .iter()
+            .flat_map(|s| s.spike_ratios_by_epoch.values())
+            .map(|ratios| (ratios.len() - ratios.partition_point(|&r| r < threshold)) as u64)
+            .sum()
+    }
+
+    /// All unavailability intervals (open ones have `end == None`),
+    /// stripe by stripe.
+    pub fn intervals(&self) -> impl Iterator<Item = &UnavailabilityInterval> + '_ {
+        self.stripes.iter().flat_map(|s| s.intervals.iter())
     }
 
     /// The unavailability intervals of one `(market, kind)`, in open
@@ -284,11 +867,23 @@ impl DataStore {
         market: MarketId,
         kind: ProbeKind,
     ) -> impl Iterator<Item = &UnavailabilityInterval> + '_ {
-        self.intervals_by_key
+        let stripe = self.stripe_for(market);
+        stripe
+            .keys
             .get(&(market, kind))
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.intervals[i])
+            .map(|k| k.intervals.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| &stripe.intervals[i])
+    }
+
+    /// Completed unavailability intervals of one `(market, kind)` —
+    /// a running counter, O(1).
+    pub fn closed_interval_count(&self, market: MarketId, kind: ProbeKind) -> u64 {
+        self.stripe_for(market)
+            .keys
+            .get(&(market, kind))
+            .map_or(0, |k| k.closed_intervals)
     }
 
     /// The time-sorted timestamps of unavailable-outcome probes of one
@@ -300,9 +895,10 @@ impl DataStore {
     /// `InsufficientCapacity`, but a caller recording an on-demand
     /// probe with `CapacityNotAvailable` would be counted here too.
     pub fn rejection_times(&self, market: MarketId, kind: ProbeKind) -> &[SimTime] {
-        self.rejection_times
+        self.stripe_for(market)
+            .keys
             .get(&(market, kind))
-            .map_or(&[], |v| v.as_slice())
+            .map_or(&[], |k| k.rejection_times.as_slice())
     }
 
     /// Iterates every `(market, kind)` that has recorded rejections,
@@ -310,73 +906,134 @@ impl DataStore {
     pub fn rejection_entries(
         &self,
     ) -> impl Iterator<Item = ((MarketId, ProbeKind), &[SimTime])> + '_ {
-        self.rejection_times
-            .iter()
-            .map(|(&key, times)| (key, times.as_slice()))
+        self.stripes.iter().flat_map(|s| {
+            s.keys
+                .iter()
+                .filter(|(_, k)| !k.rejection_times.is_empty())
+                .map(|(&key, k)| (key, k.rejection_times.as_slice()))
+        })
     }
 
     /// Running informative/rejection counters of one `(market, kind)`.
     pub fn probe_stats(&self, market: MarketId, kind: ProbeKind) -> ProbeStats {
-        self.probe_stats
+        self.stripe_for(market)
+            .keys
             .get(&(market, kind))
-            .copied()
-            .unwrap_or_default()
+            .map_or_else(ProbeStats::default, |k| k.stats)
     }
 
-    /// On-demand rejection counts per region, maintained at record
-    /// time. Counts any unavailable outcome on an on-demand probe
-    /// (from the engine that is exactly `InsufficientCapacity`).
-    pub fn od_rejections_by_region(&self) -> &HashMap<Region, u64> {
-        &self.od_rejections_by_region
+    /// Informative/rejection counts of one `(market, kind)` restricted
+    /// to the epochs fully covering `[from, to)` — served from the
+    /// epoch summary (whole buckets; boundary epochs are included).
+    pub fn probe_counts_around(
+        &self,
+        market: MarketId,
+        kind: ProbeKind,
+        from: SimTime,
+        to: SimTime,
+    ) -> (u64, u64) {
+        let Some(state) = self.stripe_for(market).keys.get(&(market, kind)) else {
+            return (0, 0);
+        };
+        let w = self.store.epoch_secs;
+        state
+            .epochs
+            .counts_in(from.as_secs() / w, to.as_secs().div_ceil(w))
+    }
+
+    /// Seconds of measured unavailability of `(market, kind)` inside
+    /// `[from, to)` (open intervals run to `to`). Epoch-summarized —
+    /// see the module docs.
+    pub fn unavailable_seconds_in(
+        &self,
+        market: MarketId,
+        kind: ProbeKind,
+        from: SimTime,
+        to: SimTime,
+    ) -> u64 {
+        self.stripe_for(market).unavailable_seconds_in(
+            (market, kind),
+            from,
+            to,
+            self.store.epoch_secs,
+        )
+    }
+
+    /// On-demand rejection counts per region, merged into `out`
+    /// (cleared first) from the stripes' running counters.
+    pub fn od_rejections_into(&self, out: &mut HashMap<Region, u64>) {
+        out.clear();
+        for stripe in &self.stripes {
+            for (&region, &n) in &stripe.od_rejections_by_region {
+                *out.entry(region).or_insert(0) += n;
+            }
+        }
+    }
+
+    /// On-demand rejection counts per region, as a fresh map. Counts
+    /// any unavailable outcome on an on-demand probe (from the engine
+    /// that is exactly `InsufficientCapacity`).
+    pub fn od_rejections_by_region(&self) -> HashMap<Region, u64> {
+        let mut out = HashMap::new();
+        self.od_rejections_into(&mut out);
+        out
     }
 
     /// Whether `(market, kind)` has an open unavailability interval.
     pub fn is_unavailable(&self, market: MarketId, kind: ProbeKind) -> bool {
-        self.open_intervals.contains_key(&(market, kind))
+        self.stripe_for(market)
+            .keys
+            .get(&(market, kind))
+            .is_some_and(|k| k.open.is_some())
     }
 
     /// All revocation observations.
-    pub fn revocations(&self) -> &[RevocationRecord] {
-        &self.revocations
+    pub fn revocations(&self) -> impl Iterator<Item = &RevocationRecord> + '_ {
+        self.stripes.iter().flat_map(|s| s.revocations.iter())
     }
 
     /// The revocation observations of one market, oldest first.
     pub fn revocations_of(&self, market: MarketId) -> impl Iterator<Item = &RevocationRecord> + '_ {
-        self.revocations_by_market
+        let stripe = self.stripe_for(market);
+        stripe
+            .revocations_by_market
             .get(&market)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.revocations[i])
+            .map(move |&i| &stripe.revocations[i])
     }
 
     /// All intrinsic-bid measurements.
-    pub fn intrinsic_bids(&self) -> &[IntrinsicBidRecord] {
-        &self.intrinsic_bids
+    pub fn intrinsic_bids(&self) -> impl Iterator<Item = &IntrinsicBidRecord> + '_ {
+        self.stripes.iter().flat_map(|s| s.intrinsic_bids.iter())
     }
 
-    /// Markets that were probed at least once.
+    /// Markets that were probed at least once (a lifetime fact;
+    /// compaction does not remove markets).
     pub fn probed_markets(&self) -> impl Iterator<Item = MarketId> + '_ {
-        self.probes_by_market.keys().copied()
+        self.stripes
+            .iter()
+            .flat_map(|s| s.probes_by_market.keys().copied())
     }
 
     /// Total money spent on probes.
     pub fn total_cost(&self) -> Price {
-        self.total_cost
+        self.store.total_cost()
     }
 
     /// Probes suppressed by budget or service limits.
     pub fn suppressed_probes(&self) -> u64 {
-        self.suppressed_probes
+        self.store.suppressed_probes()
     }
 
-    /// Number of probes recorded.
+    /// Number of probes recorded over the store's lifetime.
     pub fn len(&self) -> usize {
-        self.probes.len()
+        self.store.len()
     }
 
     /// True when no probes have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.probes.is_empty()
+        self.store.is_empty()
     }
 }
 
@@ -409,91 +1066,98 @@ mod tests {
 
     #[test]
     fn rejection_opens_interval_once() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         assert!(s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity)));
         assert!(!s.record_probe(probe(20, market(0), ProbeOutcome::InsufficientCapacity)));
-        assert!(s.is_unavailable(market(0), ProbeKind::OnDemand));
-        assert_eq!(s.intervals().len(), 1);
-        assert_eq!(s.intervals_of(market(0), ProbeKind::OnDemand).count(), 1);
+        let r = s.read();
+        assert!(r.is_unavailable(market(0), ProbeKind::OnDemand));
+        assert_eq!(r.intervals().count(), 1);
+        assert_eq!(r.intervals_of(market(0), ProbeKind::OnDemand).count(), 1);
     }
 
     #[test]
     fn fulfilment_closes_interval() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity));
         s.record_probe(probe(310, market(0), ProbeOutcome::Fulfilled));
-        assert!(!s.is_unavailable(market(0), ProbeKind::OnDemand));
-        let i = s.intervals()[0];
+        let r = s.read();
+        assert!(!r.is_unavailable(market(0), ProbeKind::OnDemand));
+        let i = *r.intervals().next().unwrap();
         assert_eq!(i.end, Some(SimTime::from_secs(310)));
         assert_eq!(i.duration().unwrap().as_secs(), 300);
+        assert_eq!(r.closed_interval_count(market(0), ProbeKind::OnDemand), 1);
     }
 
     #[test]
     fn kinds_tracked_independently() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity));
         let mut sp = probe(20, market(0), ProbeOutcome::CapacityNotAvailable);
         sp.kind = ProbeKind::Spot;
         assert!(s.record_probe(sp));
-        assert!(s.is_unavailable(market(0), ProbeKind::OnDemand));
-        assert!(s.is_unavailable(market(0), ProbeKind::Spot));
-        assert_eq!(s.intervals().len(), 2);
-        assert_eq!(s.intervals_of(market(0), ProbeKind::OnDemand).count(), 1);
-        assert_eq!(s.intervals_of(market(0), ProbeKind::Spot).count(), 1);
+        let r = s.read();
+        assert!(r.is_unavailable(market(0), ProbeKind::OnDemand));
+        assert!(r.is_unavailable(market(0), ProbeKind::Spot));
+        assert_eq!(r.intervals().count(), 2);
+        assert_eq!(r.intervals_of(market(0), ProbeKind::OnDemand).count(), 1);
+        assert_eq!(r.intervals_of(market(0), ProbeKind::Spot).count(), 1);
     }
 
     #[test]
     fn held_outcomes_do_not_close_intervals() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         let mut sp = probe(10, market(0), ProbeOutcome::CapacityNotAvailable);
         sp.kind = ProbeKind::Spot;
         s.record_probe(sp);
         let mut ptl = probe(20, market(0), ProbeOutcome::PriceTooLow);
         ptl.kind = ProbeKind::Spot;
         s.record_probe(ptl);
-        assert!(s.is_unavailable(market(0), ProbeKind::Spot));
+        assert!(s.read().is_unavailable(market(0), ProbeKind::Spot));
     }
 
     #[test]
     fn cost_accumulates_and_indexes_work() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         s.record_probe(probe(10, market(0), ProbeOutcome::Fulfilled));
         s.record_probe(probe(20, market(1), ProbeOutcome::Fulfilled));
         s.record_probe(probe(30, market(0), ProbeOutcome::Fulfilled));
         assert_eq!(s.total_cost(), Price::from_dollars(0.3));
-        assert_eq!(s.probes_of(market(0)).count(), 2);
-        assert_eq!(s.probes_of(market(1)).count(), 1);
+        let r = s.read();
+        assert_eq!(r.probes_of(market(0)).count(), 2);
+        assert_eq!(r.probes_of(market(1)).count(), 1);
         assert_eq!(s.len(), 3);
     }
 
     #[test]
     fn probe_stats_track_informative_and_rejections() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         s.record_probe(probe(10, market(0), ProbeOutcome::Fulfilled));
         s.record_probe(probe(20, market(0), ProbeOutcome::InsufficientCapacity));
         s.record_probe(probe(30, market(0), ProbeOutcome::ApiLimited));
-        let st = s.probe_stats(market(0), ProbeKind::OnDemand);
+        let r = s.read();
+        let st = r.probe_stats(market(0), ProbeKind::OnDemand);
         assert_eq!(st.informative, 2);
         assert_eq!(st.rejections, 1);
         assert_eq!(
-            s.probe_stats(market(1), ProbeKind::OnDemand),
+            r.probe_stats(market(1), ProbeKind::OnDemand),
             ProbeStats::default()
         );
     }
 
     #[test]
     fn probes_between_is_a_time_range() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         for t in [10u64, 20, 30, 40, 50] {
             s.record_probe(probe(t, market(0), ProbeOutcome::Fulfilled));
         }
-        let hits: Vec<u64> = s
+        let r = s.read();
+        let hits: Vec<u64> = r
             .probes_between(market(0), SimTime::from_secs(20), SimTime::from_secs(40))
             .map(|p| p.at.as_secs())
             .collect();
         assert_eq!(hits, vec![20, 30, 40]);
         assert_eq!(
-            s.probes_between(market(1), SimTime::ZERO, SimTime::from_secs(100))
+            r.probes_between(market(1), SimTime::ZERO, SimTime::from_secs(100))
                 .count(),
             0
         );
@@ -501,24 +1165,25 @@ mod tests {
 
     #[test]
     fn out_of_order_inserts_keep_indices_sorted() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         for t in [50u64, 10, 30, 20, 40] {
             s.record_probe(probe(t, market(0), ProbeOutcome::InsufficientCapacity));
         }
-        let times: Vec<u64> = s.probes_of(market(0)).map(|p| p.at.as_secs()).collect();
+        let r = s.read();
+        let times: Vec<u64> = r.probes_of(market(0)).map(|p| p.at.as_secs()).collect();
         assert_eq!(times, vec![10, 20, 30, 40, 50]);
-        let rejections = s.rejection_times(market(0), ProbeKind::OnDemand);
+        let rejections = r.rejection_times(market(0), ProbeKind::OnDemand);
         assert!(rejections.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(rejections.len(), 5);
     }
 
     #[test]
     fn region_rejection_counters_accumulate() {
-        let mut s = DataStore::new();
+        let s = DataStore::new();
         s.record_probe(probe(10, market(0), ProbeOutcome::InsufficientCapacity));
         s.record_probe(probe(20, market(1), ProbeOutcome::InsufficientCapacity));
         s.record_probe(probe(30, market(0), ProbeOutcome::Fulfilled));
-        assert_eq!(s.od_rejections_by_region()[&Region::UsEast1], 2);
+        assert_eq!(s.read().od_rejections_by_region()[&Region::UsEast1], 2);
     }
 
     #[test]
@@ -526,12 +1191,149 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedStore>();
         let s = shared_store();
-        s.lock().record_spike(SpikeEvent {
+        s.record_spike(SpikeEvent {
             market: market(0),
             at: SimTime::ZERO,
             ratio: 1.5,
             probed: true,
         });
-        assert_eq!(s.lock().spikes().len(), 1);
+        assert_eq!(s.read().spikes().count(), 1);
+        assert_eq!(s.read().spikes_at_or_above(1.0), 1);
+        assert_eq!(s.read().spikes_at_or_above(2.0), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_records() {
+        let s = shared_store();
+        std::thread::scope(|scope| {
+            for w in 0..4u8 {
+                let s = &s;
+                scope.spawn(move || {
+                    for t in 0..500u64 {
+                        s.record_probe(probe(t, market(w), ProbeOutcome::Fulfilled));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 2000);
+        let r = s.read();
+        for w in 0..4u8 {
+            assert_eq!(r.probes_of(market(w)).count(), 500);
+            assert_eq!(
+                r.probe_stats(market(w), ProbeKind::OnDemand).informative,
+                500
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_summary_matches_interval_walk() {
+        // One-hour epochs; an interval crossing three epochs plus an
+        // open one: the summarized sweep equals the clipped walk.
+        let s = DataStore::new();
+        let m = market(0);
+        s.record_probe(probe(1800, m, ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(9000, m, ProbeOutcome::Fulfilled)); // 7200 s closed
+        s.record_probe(probe(20_000, m, ProbeOutcome::InsufficientCapacity)); // open
+        let r = s.read();
+        let q = |a: u64, b: u64| {
+            r.unavailable_seconds_in(
+                m,
+                ProbeKind::OnDemand,
+                SimTime::from_secs(a),
+                SimTime::from_secs(b),
+            )
+        };
+        assert_eq!(q(0, 30_000), 7200 + 10_000);
+        assert_eq!(q(0, 9000), 7200);
+        assert_eq!(q(3600, 7200), 3600); // one whole middle epoch
+        assert_eq!(q(2000, 8000), 6000); // boundary epochs only
+        assert_eq!(q(10_000, 15_000), 0);
+        assert_eq!(q(25_000, 30_000), 5000); // open interval clipped to span
+    }
+
+    #[test]
+    fn epoch_probe_counts_cover_span_buckets() {
+        // Hourly epochs: probes at 600 s, 4000 s, 4100 s (one rejected).
+        let s = DataStore::new();
+        let m = market(0);
+        s.record_probe(probe(600, m, ProbeOutcome::Fulfilled));
+        s.record_probe(probe(4000, m, ProbeOutcome::InsufficientCapacity));
+        s.record_probe(probe(4100, m, ProbeOutcome::ApiLimited)); // not informative
+        let r = s.read();
+        let counts = |a: u64, b: u64| {
+            r.probe_counts_around(
+                m,
+                ProbeKind::OnDemand,
+                SimTime::from_secs(a),
+                SimTime::from_secs(b),
+            )
+        };
+        assert_eq!(counts(0, 8000), (2, 1));
+        // Boundary epochs are included whole: a span inside epoch 1
+        // still sees that epoch's counts, never partial ones.
+        assert_eq!(counts(3700, 3800), (1, 1));
+        assert_eq!(counts(0, 3600), (1, 0));
+        assert_eq!(counts(7200, 10_000), (0, 0));
+        assert_eq!(
+            r.probe_counts_around(market(1), ProbeKind::OnDemand, SimTime::ZERO, SimTime::MAX),
+            (0, 0)
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_summaries_and_frees_slabs() {
+        let s = DataStore::new();
+        let m = market(0);
+        for t in 0..200u64 {
+            let outcome = if t % 10 == 0 {
+                ProbeOutcome::InsufficientCapacity
+            } else {
+                ProbeOutcome::Fulfilled
+            };
+            s.record_probe(probe(t * 100, m, outcome));
+            s.record_spike(SpikeEvent {
+                market: m,
+                at: SimTime::from_secs(t * 100),
+                ratio: 1.0 + (t % 5) as f64,
+                probed: true,
+            });
+        }
+        let horizon = SimTime::from_secs(15_000);
+        let (stats_before, unavail_before, spikes_ge2, rejections) = {
+            let r = s.read();
+            (
+                r.probe_stats(m, ProbeKind::OnDemand),
+                r.unavailable_seconds_in(
+                    m,
+                    ProbeKind::OnDemand,
+                    SimTime::ZERO,
+                    SimTime::from_secs(20_000),
+                ),
+                r.spikes_at_or_above(2.0),
+                r.rejection_times(m, ProbeKind::OnDemand).to_vec(),
+            )
+        };
+        let before_records = s.resident_records();
+        let dropped = s.compact(horizon);
+        assert!(dropped.dropped_probes > 0 && dropped.dropped_spikes > 0);
+        assert!(s.resident_records() < before_records);
+        assert_eq!(s.len(), 200, "logical count survives compaction");
+        let r = s.read();
+        assert_eq!(r.probe_stats(m, ProbeKind::OnDemand), stats_before);
+        assert_eq!(
+            r.unavailable_seconds_in(
+                m,
+                ProbeKind::OnDemand,
+                SimTime::ZERO,
+                SimTime::from_secs(20_000)
+            ),
+            unavail_before
+        );
+        assert_eq!(r.spikes_at_or_above(2.0), spikes_ge2);
+        assert_eq!(r.rejection_times(m, ProbeKind::OnDemand), &rejections[..]);
+        assert!(r.probes().all(|p| p.at >= horizon));
+        assert!(r.spikes().all(|sp| sp.at >= horizon));
+        assert!(r.probed_markets().any(|pm| pm == m), "market stays known");
     }
 }

@@ -2,11 +2,17 @@
 //!
 //! The prototype's live mode originally leaned on `parking_lot`; the
 //! container builds offline, so this module wraps [`std::sync::Mutex`]
-//! with the same ergonomic, non-poisoning `lock()` API (a poisoned lock
-//! just hands back the inner guard — every writer here leaves the store
-//! and cloud in a consistent state between mutations).
+//! and [`std::sync::RwLock`] with the same ergonomic, non-poisoning
+//! APIs (a poisoned lock just hands back the inner guard — every writer
+//! here leaves the store and cloud in a consistent state between
+//! mutations).
+//!
+//! The [`RwLock`] exists for the striped [`crate::store::DataStore`]:
+//! its read-mostly query paths must not serialize against each other,
+//! only against writers of the same stripe.
 
 use std::sync::MutexGuard;
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` never returns a `Result`.
 #[derive(Debug, Default)]
@@ -22,6 +28,39 @@ impl<T> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0
             .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A readers-writer lock whose `read()`/`write()` never return a
+/// `Result`.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock owning `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquires exclusive write access, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0
+            .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
@@ -62,5 +101,19 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = Arc::new(RwLock::new(7u64));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        let l = Arc::try_unwrap(l).unwrap();
+        assert_eq!(l.into_inner(), 8);
     }
 }

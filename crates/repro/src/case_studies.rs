@@ -7,7 +7,7 @@ use cloud_sim::ids::MarketId;
 use cloud_sim::time::{SimDuration, SimTime};
 use spotlight_core::probe::ProbeKind;
 use spotlight_core::query::SpotLightQuery;
-use spotlight_core::store::DataStore;
+use spotlight_core::store::StoreRead;
 use spotlight_derivative::series::{AvailabilityTimeline, PriceSeries};
 use spotlight_derivative::spotcheck::{replay, SpotCheckConfig};
 use spotlight_derivative::spoton::{mean_completion_hours, run_trials, JobSpec};
@@ -15,11 +15,10 @@ use std::path::Path;
 
 /// Builds the measured on-demand unavailability timeline of one market
 /// from SpotLight's intervals (open intervals clamp to the span end).
-fn od_timeline(store: &DataStore, market: MarketId, end: SimTime) -> AvailabilityTimeline {
+fn od_timeline(store: &StoreRead<'_>, market: MarketId, end: SimTime) -> AvailabilityTimeline {
     AvailabilityTimeline::from_intervals(
         store
             .intervals()
-            .iter()
             .filter(|i| i.market == market && i.kind == ProbeKind::OnDemand)
             .map(|i| (i.start, i.end.unwrap_or(end)))
             .collect(),
@@ -30,7 +29,7 @@ fn od_timeline(store: &DataStore, market: MarketId, end: SimTime) -> Availabilit
 /// its measured timeline (an empty timeline when the chosen fallback has
 /// no measured unavailability at all — the ideal case).
 fn informed_timeline(
-    store: &DataStore,
+    store: &StoreRead<'_>,
     study: &Study,
     market: MarketId,
 ) -> (Option<MarketId>, AvailabilityTimeline) {
@@ -51,7 +50,7 @@ fn informed_timeline(
 /// same-market fallback vs SpotLight-informed fallback.
 pub fn fig_6_1(study: &Study, out: &Path) {
     banner("Figure 6.1 — SpotCheck availability (naive vs SpotLight-informed)");
-    let store = study.store.lock();
+    let store = study.store.read();
     let config = SpotCheckConfig::default();
     let mut table = Table::new(vec![
         "market",
@@ -101,7 +100,7 @@ pub fn fig_6_1(study: &Study, out: &Path) {
 /// representative one-hour job), naive vs SpotLight-informed.
 pub fn fig_6_2(study: &Study, out: &Path) {
     banner("Figure 6.2 — SpotOn running time (naive vs SpotLight-informed)");
-    let store = study.store.lock();
+    let store = study.store.read();
     let job = JobSpec::representative();
     let retry = SimDuration::from_secs(300);
     let trials = 100;

@@ -79,16 +79,41 @@ fn with_study(args: &Args, f: impl FnOnce(&Study, &std::path::Path)) {
     let t0 = std::time::Instant::now();
     let study = run_study(&args.config);
     {
-        // One lock for the whole summary (the mutex is not reentrant).
-        let db = study.store.lock();
+        // One read snapshot for the whole summary.
+        let db = study.store.read();
         eprintln!(
             "study done in {:.1}s: {} probes, {} spikes, {} intervals, cost {}",
             t0.elapsed().as_secs_f64(),
             db.len(),
-            db.spikes().len(),
-            db.intervals().len(),
+            db.spikes().count(),
+            db.intervals().count(),
             db.total_cost(),
         );
+        // Buffer-reusing query variants: one Vec/map serves both lines.
+        // (`--days 0` yields an empty span, which the query interface
+        // rejects — skip the summary rather than crash.)
+        if study.end > study.start {
+            let query = spotlight_core::query::SpotLightQuery::new(&db, study.start, study.end);
+            let mut outages = Vec::new();
+            query.unavailability_durations_into(
+                spotlight_core::probe::ProbeKind::OnDemand,
+                &mut outages,
+            );
+            let mut rejections = std::collections::HashMap::new();
+            query.rejection_counts_by_region_into(&mut rejections);
+            let mut by_region: Vec<_> = rejections.into_iter().collect();
+            by_region.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            eprintln!(
+                "  {} closed od outages; busiest rejection regions: {}",
+                outages.len(),
+                by_region
+                    .iter()
+                    .take(3)
+                    .map(|(r, n)| format!("{} ({n})", r.name()))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
     }
     f(&study, &args.out);
 }

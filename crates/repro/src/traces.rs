@@ -133,10 +133,9 @@ pub fn fig_5_1b(study: &Study, out: &Path) {
 pub fn fig_5_2(study: &Study, out: &Path) {
     banner("Figure 5.2 — intrinsic bid price vs published spot price (BidSpread)");
     let market = fig_5_2_market();
-    let store = study.store.lock();
+    let store = study.store.read();
     let records: Vec<_> = store
         .intrinsic_bids()
-        .iter()
         .filter(|r| r.market == market)
         .collect();
     let mut table = Table::new(vec!["t_secs", "published", "intrinsic", "attempts"]);

@@ -67,14 +67,13 @@ fn main() {
     let chosen = markets[names.iter().position(|n| n == chosen_name).unwrap()];
 
     // Replay the job 100 times against the measured availability data.
-    let db = store.lock();
+    let db = store.read();
     let query = SpotLightQuery::new(&db, start, end);
     let prices = PriceSeries::new(cloud.trace().history(chosen).to_vec());
     let od_price = cloud.catalog().od_price(chosen);
     let timeline_of = |m| {
         AvailabilityTimeline::from_intervals(
             db.intervals()
-                .iter()
                 .filter(|i| i.market == m && i.kind == ProbeKind::OnDemand)
                 .map(|i| (i.start, i.end.unwrap_or(end)))
                 .collect(),

@@ -40,12 +40,12 @@ fn main() {
         println!("  region manager {region}: {probes} probes issued");
     }
 
-    let db = store.lock();
+    let db = store.read();
     println!(
         "database manager recorded {} probes, {} spikes, {} unavailability intervals",
         db.len(),
-        db.spikes().len(),
-        db.intervals().len()
+        db.spikes().count(),
+        db.intervals().count()
     );
     println!("probe spend: {} over {} simulated days", db.total_cost(), 3);
     println!("cloud time now: {}", cloud.now());

@@ -34,12 +34,12 @@ fn main() {
     engine.run_until(end);
 
     // 3. Query the information service.
-    let db = store.lock();
+    let db = store.read();
     let query = SpotLightQuery::new(&db, start, end);
     println!(
         "SpotLight collected {} probes ({} spikes, total cost {})",
         db.len(),
-        db.spikes().len(),
+        db.spikes().count(),
         db.total_cost()
     );
     println!();

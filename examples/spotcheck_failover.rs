@@ -40,14 +40,14 @@ fn main() {
     engine.run_until(end);
     let cloud = engine.into_parts().0;
 
-    let db = store.lock();
+    let db = store.read();
     let query = SpotLightQuery::new(&db, start, end);
     let markets: Vec<_> = cloud.catalog().markets().to_vec();
 
     // Host the VM in the most volatile market (most measured spikes).
     let host = *markets
         .iter()
-        .max_by_key(|&&m| db.spikes().iter().filter(|s| s.market == m).count())
+        .max_by_key(|&&m| db.spikes().filter(|s| s.market == m).count())
         .expect("testbed has markets");
     let od_price = cloud.catalog().od_price(host);
     let prices = PriceSeries::new(cloud.trace().history(host).to_vec());
@@ -56,7 +56,6 @@ fn main() {
     // unavailability SpotLight measured for it.
     let naive_timeline = AvailabilityTimeline::from_intervals(
         db.intervals()
-            .iter()
             .filter(|i| i.market == host && i.kind == ProbeKind::OnDemand)
             .map(|i| (i.start, i.end.unwrap_or(end)))
             .collect(),
@@ -70,7 +69,6 @@ fn main() {
     let informed_timeline = match fallback {
         Some(f) => AvailabilityTimeline::from_intervals(
             db.intervals()
-                .iter()
                 .filter(|i| i.market == f && i.kind == ProbeKind::OnDemand)
                 .map(|i| (i.start, i.end.unwrap_or(end)))
                 .collect(),

@@ -20,7 +20,9 @@ TOLERANCE="${TOLERANCE:-1.3}"
 # host's parallelism (a 1-core CI box vs a multicore baseline host
 # would "regress" 3x with zero code change). Only the single-thread
 # variant is machine-portable enough to gate.
-TRACKED='^(tick|tick_component|store_query_100k)/|^tick_threads/1$'
+# store_ingest_contended/* and store_window_sweep_1m/* (PR 4) gate the
+# striped-store ingest path and the epoch-summarized month sweep.
+TRACKED='^(tick|tick_component|store_query_100k|store_ingest_contended|store_window_sweep_1m)/|^tick_threads/1$'
 
 BASELINE="${1:-}"
 if [ -z "$BASELINE" ]; then

@@ -22,11 +22,18 @@ for suite in "${SUITES[@]}"; do
     CRITERION_JSON="$LINES" cargo bench --bench "$suite"
 done
 
+# Resident store footprint before/after compaction on the month-scale
+# synthetic study (also re-checks summarized-query exactness; see
+# crates/bench/src/bin/store_footprint.rs).
+echo ">> cargo run --release -p spotlight-bench --bin store_footprint" >&2
+FOOTPRINT="$(cargo run --release -p spotlight-bench --bin store_footprint 2>/dev/null | tail -n1)"
+
 {
     echo '{'
     echo "  \"generated_by\": \"scripts/bench_snapshot.sh\","
     echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"suites\": [$(printf '"%s",' "${SUITES[@]}" | sed 's/,$//')],"
+    echo "  \"store_footprint\": ${FOOTPRINT:-null},"
     echo '  "benches": ['
     sed 's/^/    /; $!s/$/,/' "$LINES"
     echo '  ]'

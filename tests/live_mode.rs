@@ -31,7 +31,7 @@ fn live_store_is_structurally_sound() {
             duration: SimDuration::days(3),
         },
     );
-    let s = store.lock();
+    let s = store.read();
     assert_eq!(report.probes, s.len());
     for p in s.probes() {
         assert!(cloud.catalog().market_exists(p.market));
@@ -92,10 +92,9 @@ fn live_mode_respects_service_limits() {
             duration: SimDuration::days(2),
         },
     );
-    let s = store.lock();
+    let s = store.read();
     let limited = s
         .probes()
-        .iter()
         .filter(|p| p.outcome == ProbeOutcome::ApiLimited)
         .count();
     // With a 12/min budget and fan-out probing, throttling must appear.

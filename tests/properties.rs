@@ -150,7 +150,7 @@ proptest! {
     ) {
         let mut sorted = seq;
         sorted.sort_by_key(|&(_, _, t)| t);
-        let mut store = DataStore::new();
+        let store = DataStore::new();
         for (market, outcome, t) in sorted {
             store.record_probe(ProbeRecord {
                 at: SimTime::from_secs(t),
@@ -165,8 +165,9 @@ proptest! {
         }
         // Closed intervals end at or after their start; at most one open
         // interval per market/kind.
+        let read = store.read();
         let mut open = std::collections::HashSet::new();
-        for i in store.intervals() {
+        for i in read.intervals() {
             match i.end {
                 Some(end) => prop_assert!(end >= i.start),
                 None => prop_assert!(open.insert((i.market, i.kind))),
@@ -229,18 +230,18 @@ proptest! {
         from in 0u64..50_000,
         width in 0u64..20_000,
     ) {
-        let mut store = DataStore::new();
+        let store = DataStore::new();
         for p in &seq {
             store.record_probe(*p);
         }
+        let read = store.read();
         let from = SimTime::from_secs(from);
         let to = SimTime::from_secs(from.as_secs() + width);
         for market in all_markets() {
             // probes_of: same multiset as a full scan, sorted by time.
-            let indexed: Vec<SimTime> = store.probes_of(market).map(|p| p.at).collect();
-            let mut oracle: Vec<SimTime> = store
+            let indexed: Vec<SimTime> = read.probes_of(market).map(|p| p.at).collect();
+            let mut oracle: Vec<SimTime> = read
                 .probes()
-                .iter()
                 .filter(|p| p.market == market)
                 .map(|p| p.at)
                 .collect();
@@ -249,7 +250,7 @@ proptest! {
 
             // probes_between: binary-search range == scan filter.
             let ranged: Vec<SimTime> =
-                store.probes_between(market, from, to).map(|p| p.at).collect();
+                read.probes_between(market, from, to).map(|p| p.at).collect();
             let range_oracle: Vec<SimTime> = oracle
                 .iter()
                 .copied()
@@ -259,30 +260,27 @@ proptest! {
 
             for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
                 // rejection_times: sorted rejected-probe timestamps.
-                let mut rej_oracle: Vec<SimTime> = store
+                let mut rej_oracle: Vec<SimTime> = read
                     .probes()
-                    .iter()
                     .filter(|p| p.market == market && p.kind == kind
                         && p.outcome.is_unavailable())
                     .map(|p| p.at)
                     .collect();
                 rej_oracle.sort();
                 prop_assert_eq!(
-                    store.rejection_times(market, kind).to_vec(),
+                    read.rejection_times(market, kind).to_vec(),
                     rej_oracle
                 );
 
                 // probe_stats: running counters == scan counts.
-                let stats = store.probe_stats(market, kind);
-                let informative = store
+                let stats = read.probe_stats(market, kind);
+                let informative = read
                     .probes()
-                    .iter()
                     .filter(|p| p.market == market && p.kind == kind
                         && p.outcome.is_informative())
                     .count() as u64;
-                let rejections = store
+                let rejections = read
                     .probes()
-                    .iter()
                     .filter(|p| p.market == market && p.kind == kind
                         && p.outcome.is_unavailable())
                     .count() as u64;
@@ -290,13 +288,12 @@ proptest! {
                 prop_assert_eq!(stats.rejections, rejections);
 
                 // intervals_of: per-key index == full-log filter.
-                let by_index: Vec<(SimTime, Option<SimTime>)> = store
+                let by_index: Vec<(SimTime, Option<SimTime>)> = read
                     .intervals_of(market, kind)
                     .map(|i| (i.start, i.end))
                     .collect();
-                let by_scan: Vec<(SimTime, Option<SimTime>)> = store
+                let by_scan: Vec<(SimTime, Option<SimTime>)> = read
                     .intervals()
-                    .iter()
                     .filter(|i| i.market == market && i.kind == kind)
                     .map(|i| (i.start, i.end))
                     .collect();
@@ -313,13 +310,14 @@ proptest! {
         // open/close state machine semantics are well defined.
         let mut sorted = seq;
         sorted.sort_by_key(|p| p.at);
-        let mut store = DataStore::new();
+        let store = DataStore::new();
         for p in &sorted {
             store.record_probe(*p);
         }
         // At most one open interval per key; closed ones are ordered.
+        let read = store.read();
         let mut open = std::collections::HashSet::new();
-        for i in store.intervals() {
+        for i in read.intervals() {
             match i.end {
                 Some(end) => prop_assert!(end >= i.start),
                 None => prop_assert!(open.insert((i.market, i.kind))),
@@ -329,11 +327,11 @@ proptest! {
         for market in all_markets() {
             for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
                 prop_assert_eq!(
-                    store.is_unavailable(market, kind),
+                    read.is_unavailable(market, kind),
                     open.contains(&(market, kind))
                 );
                 // An open interval is always the key's latest.
-                let intervals: Vec<_> = store.intervals_of(market, kind).collect();
+                let intervals: Vec<_> = read.intervals_of(market, kind).collect();
                 for (pos, i) in intervals.iter().enumerate() {
                     if i.end.is_none() {
                         prop_assert_eq!(pos, intervals.len() - 1);
@@ -393,6 +391,203 @@ proptest! {
                 prop_assert!(snap.occupied() <= snap.physical);
                 prop_assert!(snap.reserved_running <= snap.reserved_granted);
             }
+        }
+    }
+}
+
+// ---- epoch summaries & compaction vs scan oracle ----------------------
+//
+// The summarized queries (availability, unavailable_seconds,
+// spike_rates, top_available_markets, conditional_unavailability,
+// region rejection counts) must answer exactly like brute-force
+// formulas over the raw records — and must stay bit-identical after
+// `compact` folds the raw slabs into the summaries.
+
+proptest! {
+    #[test]
+    fn summarized_queries_match_oracle_and_survive_compaction(
+        seq in proptest::collection::vec(any_probe(), 0..150),
+        spikes in proptest::collection::vec((any_market(), 0u64..50_000, 0.0f64..12.0), 0..50),
+        span_start in 0u64..50_000,
+        span_len in 1u64..50_000,
+        horizon in 0u64..60_000,
+    ) {
+        use spotlight_core::query::SpotLightQuery;
+        use spotlight_core::store::SpikeEvent;
+        use cloud_sim::time::SimDuration;
+
+        let store = DataStore::new();
+        for p in &seq {
+            store.record_probe(*p);
+        }
+        for &(market, t, ratio) in &spikes {
+            store.record_spike(SpikeEvent {
+                market,
+                at: SimTime::from_secs(t),
+                ratio,
+                probed: true,
+            });
+        }
+        let qs = SimTime::from_secs(span_start);
+        let qe = SimTime::from_secs(span_start + span_len);
+        let window = SimDuration::from_secs(900);
+        let thresholds = [0.0, 1.0, 2.5, 6.0];
+        let markets = all_markets();
+        let kinds = [ProbeKind::OnDemand, ProbeKind::Spot];
+
+        // Brute-force oracles over the raw interval log (the exact
+        // formula the pre-epoch store computed per query).
+        let (unavail, stats, rates, top, conditional, regions) = {
+            let read = store.read();
+            let intervals: Vec<_> = read.intervals().copied().collect();
+            let q = SpotLightQuery::new(&read, qs, qe);
+            let mut unavail = Vec::new();
+            for &m in &markets {
+                for kind in kinds {
+                    let oracle: u64 = intervals
+                        .iter()
+                        .filter(|i| i.market == m && i.kind == kind)
+                        .map(|i| {
+                            let s = i.start.max(qs);
+                            let e = i.end.unwrap_or(qe).min(qe);
+                            e.saturating_since(s).as_secs()
+                        })
+                        .sum();
+                    prop_assert_eq!(
+                        q.unavailable_seconds(m, kind), oracle,
+                        "unavailable_seconds({}, {:?})", m, kind
+                    );
+                    unavail.push(oracle);
+                }
+            }
+            let windows = (span_len as f64 / 900.0).max(1.0);
+            let measured = q.spike_rates(&thresholds, window);
+            for (rate, &t) in measured.iter().zip(&thresholds) {
+                let oracle = spikes.iter().filter(|&&(_, _, r)| r >= t).count() as f64;
+                prop_assert_eq!(
+                    rate.spikes_per_window, oracle / windows,
+                    "spike_rates(>= {})", t
+                );
+            }
+            let stats: Vec<_> = markets
+                .iter()
+                .flat_map(|&m| kinds.map(|k| q.availability(m, k)))
+                .collect();
+            let top = q.top_available_markets(&markets, None, 0, markets.len());
+            let conditional: Vec<_> = markets
+                .iter()
+                .map(|&b| q.conditional_unavailability(markets[0], b, window))
+                .collect();
+            (unavail, stats, measured, top, conditional, q.rejection_counts_by_region())
+        };
+
+        store.compact(SimTime::from_secs(horizon));
+
+        // Every summarized answer is bit-identical on the compacted
+        // store; the raw logs only retain the window.
+        let read = store.read();
+        let q = SpotLightQuery::new(&read, qs, qe);
+        let mut i = 0;
+        for &m in &markets {
+            for kind in kinds {
+                prop_assert_eq!(q.unavailable_seconds(m, kind), unavail[i]);
+                prop_assert_eq!(q.availability(m, kind), stats[i]);
+                i += 1;
+            }
+        }
+        prop_assert_eq!(q.spike_rates(&thresholds, window), rates);
+        prop_assert_eq!(q.top_available_markets(&markets, None, 0, markets.len()), top);
+        for (j, &b) in markets.iter().enumerate() {
+            prop_assert_eq!(
+                q.conditional_unavailability(markets[0], b, window),
+                conditional[j]
+            );
+        }
+        prop_assert_eq!(q.rejection_counts_by_region(), regions);
+        let cutoff = SimTime::from_secs(horizon);
+        prop_assert!(read.probes().all(|p| p.at >= cutoff));
+        prop_assert!(read.spikes().all(|s| s.at >= cutoff));
+    }
+}
+
+// ---- concurrent ingest vs sequential ingest ---------------------------
+
+/// Concurrent writers (each owning a disjoint set of markets, so per-key
+/// arrival order matches the sequential run) must leave the striped
+/// store with exactly the counters, indices, and summaries of a
+/// single-threaded ingest of the same stream.
+#[test]
+fn concurrent_ingest_matches_sequential_ingest() {
+    use spotlight_core::store::DataStore;
+
+    let markets = all_markets();
+    let probes: Vec<ProbeRecord> = (0..3000u64)
+        .map(|i| {
+            let market = markets[(i * 7 % markets.len() as u64) as usize];
+            let kind = if i % 3 == 0 {
+                ProbeKind::Spot
+            } else {
+                ProbeKind::OnDemand
+            };
+            let outcome = match i % 5 {
+                0 => ProbeOutcome::InsufficientCapacity,
+                1 => ProbeOutcome::CapacityNotAvailable,
+                2 => ProbeOutcome::ApiLimited,
+                _ => ProbeOutcome::Fulfilled,
+            };
+            ProbeRecord {
+                at: SimTime::from_secs(i),
+                market,
+                kind,
+                trigger: ProbeTrigger::Recovery,
+                outcome,
+                spot_ratio: 0.5,
+                bid: None,
+                cost: Price::from_micros(i),
+            }
+        })
+        .collect();
+
+    let sequential = DataStore::new();
+    for p in &probes {
+        sequential.record_probe(*p);
+    }
+
+    let concurrent = DataStore::new();
+    std::thread::scope(|scope| {
+        for worker in 0..3usize {
+            let (probes, concurrent, markets) = (&probes, &concurrent, &markets);
+            scope.spawn(move || {
+                for p in probes {
+                    let owner = markets.iter().position(|&m| m == p.market).unwrap() % 3;
+                    if owner == worker {
+                        concurrent.record_probe(*p);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(concurrent.len(), sequential.len());
+    assert_eq!(concurrent.total_cost(), sequential.total_cost());
+    let (c, s) = (concurrent.read(), sequential.read());
+    assert_eq!(c.od_rejections_by_region(), s.od_rejections_by_region());
+    let span = (SimTime::ZERO, SimTime::from_secs(3000));
+    for &m in &markets {
+        for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
+            assert_eq!(c.probe_stats(m, kind), s.probe_stats(m, kind));
+            assert_eq!(c.rejection_times(m, kind), s.rejection_times(m, kind));
+            assert_eq!(
+                c.closed_interval_count(m, kind),
+                s.closed_interval_count(m, kind)
+            );
+            let ci: Vec<_> = c.intervals_of(m, kind).map(|i| (i.start, i.end)).collect();
+            let si: Vec<_> = s.intervals_of(m, kind).map(|i| (i.start, i.end)).collect();
+            assert_eq!(ci, si, "intervals of {m} {kind:?}");
+            assert_eq!(
+                c.unavailable_seconds_in(m, kind, span.0, span.1),
+                s.unavailable_seconds_in(m, kind, span.0, span.1)
+            );
         }
     }
 }
