@@ -18,6 +18,20 @@ fn bench_tick(c: &mut Criterion) {
             black_box(cloud.now());
         });
     });
+    // Pins the disabled-chaos contract: with `ChaosConfig::default()`
+    // the only chaos cost in the tick is one bool branch per shard, so
+    // this must track `testbed_tick` (both are gated by bench_check).
+    group.bench_function("tick_chaos_disabled", |b| {
+        let mut config = SimConfig::paper(1);
+        config.threads = 1;
+        config.chaos = cloud_sim::chaos::ChaosConfig::default();
+        let mut cloud = Cloud::new(Catalog::testbed(), config);
+        cloud.warmup(5);
+        b.iter(|| {
+            cloud.tick();
+            black_box(cloud.now());
+        });
+    });
     group.sample_size(10);
     group.bench_function("standard_catalog_tick_5184_markets", |b| {
         let mut config = SimConfig::paper(1);

@@ -7,6 +7,7 @@
 //! SpotLight cares most about is `InsufficientInstanceCapacity`.
 
 use crate::billing::UsageKind;
+use crate::chaos::ApiFault;
 use crate::cloud::{Cloud, OdInstance, SpotEval, SpotRequest};
 use crate::ids::{InstanceId, MarketId, Region, SpotRequestId};
 use crate::lifecycle::{OdState, SpotRequestState, Tracked};
@@ -52,6 +53,19 @@ pub enum ApiError {
     NotFound(String),
     /// The operation is illegal in the object's current state.
     InvalidState(String),
+    /// The regional API endpoint is down (injected by a
+    /// [`crate::chaos::ChaosConfig`] outage window).
+    ServiceUnavailable {
+        /// The unreachable region.
+        region: Region,
+    },
+    /// A transient server-side failure (injected by a
+    /// [`crate::chaos::ChaosConfig`] error burst). Retrying the same
+    /// call later may succeed.
+    InternalError {
+        /// The failing region.
+        region: Region,
+    },
 }
 
 impl ApiError {
@@ -66,6 +80,40 @@ impl ApiError {
             ApiError::InvalidParameter(_) => "InvalidParameterValue",
             ApiError::NotFound(_) => "InvalidResourceID.NotFound",
             ApiError::InvalidState(_) => "IncorrectState",
+            ApiError::ServiceUnavailable { .. } => "Unavailable",
+            ApiError::InternalError { .. } => "InternalError",
+        }
+    }
+
+    /// Whether retrying the same call later can reasonably succeed.
+    ///
+    /// Throttling, outages, and transient server errors are conditions
+    /// of the *endpoint*, not the request — a caller with a backoff
+    /// queue should retry them. Everything else either reports a true
+    /// observation (`InsufficientInstanceCapacity`), a caller bug
+    /// (`InvalidParameter`, `NotFound`, `InvalidState`,
+    /// `MaxSpotPriceTooHigh`), or a limit retrying cannot lift
+    /// (`InstanceLimitExceeded`, `SpotRequestLimitExceeded` — those
+    /// clear only when the caller releases resources).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::RequestLimitExceeded { .. }
+                | ApiError::ServiceUnavailable { .. }
+                | ApiError::InternalError { .. }
+        )
+    }
+
+    /// The region the error originated in, when it is a regional
+    /// (endpoint-level) condition rather than a per-request one.
+    pub fn region(&self) -> Option<Region> {
+        match self {
+            ApiError::RequestLimitExceeded { region }
+            | ApiError::InstanceLimitExceeded { region }
+            | ApiError::SpotRequestLimitExceeded { region }
+            | ApiError::ServiceUnavailable { region }
+            | ApiError::InternalError { region } => Some(*region),
+            _ => None,
         }
     }
 }
@@ -91,6 +139,12 @@ impl fmt::Display for ApiError {
             ApiError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             ApiError::NotFound(msg) => write!(f, "not found: {msg}"),
             ApiError::InvalidState(msg) => write!(f, "incorrect state: {msg}"),
+            ApiError::ServiceUnavailable { region } => {
+                write!(f, "api endpoint unavailable in {region}")
+            }
+            ApiError::InternalError { region } => {
+                write!(f, "internal service error in {region}")
+            }
         }
     }
 }
@@ -146,7 +200,24 @@ impl Cloud {
         let per_minute = self.config.limits.api_calls_per_minute_per_region;
         let now = self.now;
         let si = self.region_shard_idx(region);
-        if self.shards[si].api.try_consume(now, per_minute) {
+        let shard = &mut self.shards[si];
+        // Chaos intercepts the call before the token bucket: an outage
+        // answers nothing, a throttling storm pins the bucket empty (so
+        // recovery after the storm starts from zero tokens), and an
+        // error burst fails the call after it was accepted. One branch
+        // when chaos is disabled.
+        if shard.chaos.enabled() {
+            match shard.chaos.api_fault(now) {
+                ApiFault::Outage => return Err(ApiError::ServiceUnavailable { region }),
+                ApiFault::Throttled => {
+                    shard.api.drain(now);
+                    return Err(ApiError::RequestLimitExceeded { region });
+                }
+                ApiFault::Transient => return Err(ApiError::InternalError { region }),
+                ApiFault::None => {}
+            }
+        }
+        if shard.api.try_consume(now, per_minute) {
             Ok(())
         } else {
             Err(ApiError::RequestLimitExceeded { region })
@@ -628,13 +699,161 @@ mod tests {
 
     #[test]
     fn error_display_and_codes_are_stable() {
+        use crate::ids::Region;
         let m = MarketId {
-            az: Az::new(crate::ids::Region::UsEast1, 0),
+            az: Az::new(Region::UsEast1, 0),
             instance_type: "c3.large".parse().unwrap(),
             platform: Platform::LinuxUnix,
         };
-        let e = ApiError::InsufficientInstanceCapacity { market: m };
-        assert_eq!(e.error_code(), "InsufficientInstanceCapacity");
-        assert!(e.to_string().contains("insufficient capacity"));
+        let r = Region::EuWest1;
+        // Every variant, its code string, and a Display fragment — the
+        // codes are a wire format consumers match on, so drift here is
+        // an API break.
+        let cases: Vec<(ApiError, &str, &str)> = vec![
+            (
+                ApiError::InsufficientInstanceCapacity { market: m },
+                "InsufficientInstanceCapacity",
+                "insufficient capacity",
+            ),
+            (
+                ApiError::RequestLimitExceeded { region: r },
+                "RequestLimitExceeded",
+                "rate limit exceeded",
+            ),
+            (
+                ApiError::InstanceLimitExceeded { region: r },
+                "InstanceLimitExceeded",
+                "instance limit reached",
+            ),
+            (
+                ApiError::SpotRequestLimitExceeded { region: r },
+                "MaxSpotInstanceCountExceeded",
+                "spot request limit reached",
+            ),
+            (
+                ApiError::MaxSpotPriceTooHigh {
+                    market: m,
+                    cap: Price::from_dollars(1.05),
+                },
+                "SpotMaxPriceTooHigh",
+                "cap",
+            ),
+            (
+                ApiError::InvalidParameter("x".into()),
+                "InvalidParameterValue",
+                "invalid parameter",
+            ),
+            (
+                ApiError::NotFound("x".into()),
+                "InvalidResourceID.NotFound",
+                "not found",
+            ),
+            (
+                ApiError::InvalidState("x".into()),
+                "IncorrectState",
+                "incorrect state",
+            ),
+            (
+                ApiError::ServiceUnavailable { region: r },
+                "Unavailable",
+                "unavailable",
+            ),
+            (
+                ApiError::InternalError { region: r },
+                "InternalError",
+                "internal service error",
+            ),
+        ];
+        for (err, code, fragment) in cases {
+            assert_eq!(err.error_code(), code, "{err:?}");
+            assert!(
+                err.to_string().contains(fragment),
+                "{err:?} display {:?} should contain {fragment:?}",
+                err.to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn retryability_is_endpoint_conditions_only() {
+        use crate::ids::Region;
+        let m = MarketId {
+            az: Az::new(Region::UsEast1, 0),
+            instance_type: "c3.large".parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        };
+        let r = Region::UsEast1;
+        for retryable in [
+            ApiError::RequestLimitExceeded { region: r },
+            ApiError::ServiceUnavailable { region: r },
+            ApiError::InternalError { region: r },
+        ] {
+            assert!(retryable.is_retryable(), "{retryable:?}");
+            assert_eq!(retryable.region(), Some(r));
+        }
+        for terminal in [
+            ApiError::InsufficientInstanceCapacity { market: m },
+            ApiError::InstanceLimitExceeded { region: r },
+            ApiError::SpotRequestLimitExceeded { region: r },
+            ApiError::MaxSpotPriceTooHigh {
+                market: m,
+                cap: Price::from_dollars(1.0),
+            },
+            ApiError::InvalidParameter("x".into()),
+            ApiError::NotFound("x".into()),
+            ApiError::InvalidState("x".into()),
+        ] {
+            assert!(!terminal.is_retryable(), "{terminal:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_outage_fails_api_calls_then_recovers() {
+        use crate::chaos::ChaosWindow;
+        use crate::ids::Region;
+        use crate::time::SimDuration;
+        let mut config = SimConfig::paper(11);
+        config.demand = DemandProfile::quiet();
+        config.chaos.outages.push(ChaosWindow {
+            region: Region::UsEast1,
+            start: SimTime::from_secs(300 * 12),
+            duration: SimDuration::from_secs(300 * 4),
+        });
+        let mut c = Cloud::new(Catalog::testbed(), config);
+        c.warmup(10);
+        let m = a_market(&c);
+        assert_eq!(m.region(), Region::UsEast1, "testbed leads with us-east-1");
+        assert!(c.describe_spot_price(m).is_ok(), "before the outage");
+        c.warmup(4); // into the window
+        let err = c.describe_spot_price(m).unwrap_err();
+        assert_eq!(err.error_code(), "Unavailable");
+        assert!(err.is_retryable());
+        c.warmup(4); // past the window
+        assert!(c.describe_spot_price(m).is_ok(), "after the outage");
+    }
+
+    #[test]
+    fn chaos_throttle_storm_drains_the_bucket() {
+        use crate::chaos::ChaosWindow;
+        use crate::ids::Region;
+        use crate::time::SimDuration;
+        let mut config = SimConfig::paper(12);
+        config.demand = DemandProfile::quiet();
+        config.limits.api_calls_per_minute_per_region = 6;
+        config.chaos.throttle_storms.push(ChaosWindow {
+            region: Region::UsEast1,
+            start: SimTime::from_secs(300 * 10),
+            duration: SimDuration::from_secs(300 * 2),
+        });
+        let mut c = Cloud::new(Catalog::testbed(), config);
+        c.warmup(10);
+        let m = a_market(&c);
+        // Inside the storm every call throttles, even the first.
+        let err = c.describe_spot_price(m).unwrap_err();
+        assert!(matches!(err, ApiError::RequestLimitExceeded { .. }));
+        // After the storm the bucket refills from zero: one tick of
+        // elapsed time at 6/min is plenty for a call.
+        c.warmup(3);
+        assert!(c.describe_spot_price(m).is_ok(), "post-storm refill");
     }
 }

@@ -72,6 +72,7 @@
 
 use crate::billing::{Ledger, UsageKind};
 use crate::catalog::Catalog;
+use crate::chaos::ChaosState;
 use crate::config::{DemandProfile, SimConfig};
 use crate::demand::{surge_weights, LevelGrid, MarketDemand, PoolDemand, RegionDemand, Surge};
 use crate::ids::{Family, InstanceId, MarketId, PoolId, SpotRequestId};
@@ -142,6 +143,20 @@ pub enum CloudEvent {
         pool: PoolId,
         /// When the shortage ended.
         at: SimTime,
+    },
+    /// Advance notice that a market's capacity will be reclaimed (a
+    /// chaos-injected eviction, modelling the interruption notices real
+    /// providers emit ahead of capacity reclaims). Running spot
+    /// instances in the market receive revocation warnings with the
+    /// same deadline, and the pool withholds spot capacity for the
+    /// configured hold once the reclaim lands.
+    CapacityEvictionNotice {
+        /// The market losing capacity.
+        market: MarketId,
+        /// When the notice was issued.
+        at: SimTime,
+        /// When the capacity will be reclaimed.
+        evict_at: SimTime,
     },
 }
 
@@ -234,6 +249,14 @@ impl RegionApiState {
         }
     }
 
+    /// Empties the bucket and restarts refill accounting from `now` —
+    /// a chaos throttling storm pins the bucket here on every call, so
+    /// post-storm recovery starts from zero tokens.
+    pub fn drain(&mut self, now: SimTime) {
+        self.tokens = 0.0;
+        self.last_refill = now;
+    }
+
     /// Refills the bucket up to one minute's burst and consumes a token.
     pub fn try_consume(&mut self, now: SimTime, per_minute: u32) -> bool {
         let burst = per_minute as f64;
@@ -257,6 +280,12 @@ const SPOT_INSTANCE_BIT: u64 = 1 << 63;
 /// First stream id of the per-region RNG streams (stream 0 is the root,
 /// 1 was the pre-sharding global demand stream).
 const REGION_STREAM_BASE: u64 = 2;
+
+/// First stream id of the per-region *chaos* RNG streams (see
+/// [`crate::chaos`]). Forked from the root after the demand streams, so
+/// enabling chaos never perturbs a seed's demand trajectory, and each
+/// region's chaos draws stay shard-local (the determinism contract).
+const CHAOS_STREAM_BASE: u64 = 16;
 
 /// Below this many markets, `threads = 0` (auto) resolves to `1`: a
 /// testbed-sized tick runs in a few microseconds, so per-tick scoped
@@ -321,6 +350,14 @@ pub(crate) struct RegionShard {
     /// This region's RNG stream; every draw on the tick path happens
     /// here, in shard-local phase order.
     pub rng: SimRng,
+    /// This region's fault-injection runtime, with its own RNG stream.
+    pub chaos: ChaosState,
+    /// Events held back by chaos-injected delivery delay, as
+    /// `(release_at, event)` in emission order.
+    delayed_events: Vec<(SimTime, CloudEvent)>,
+    /// Chaos evictions announced but not yet landed, as
+    /// `(evict_at, local pool index)`.
+    pending_evictions: Vec<(SimTime, usize)>,
     /// Events emitted this tick, merged into [`Cloud::events`] in region
     /// order after the parallel phase.
     events: Vec<CloudEvent>,
@@ -335,7 +372,7 @@ pub(crate) struct RegionShard {
 }
 
 impl RegionShard {
-    fn new(region_idx: usize, rng: SimRng, n_levels: usize) -> Self {
+    fn new(region_idx: usize, rng: SimRng, chaos: ChaosState, n_levels: usize) -> Self {
         RegionShard {
             region_idx,
             pools: Vec::new(),
@@ -348,6 +385,9 @@ impl RegionShard {
             spot_requests: HashMap::new(),
             active_spot: BTreeSet::new(),
             rng,
+            chaos,
+            delayed_events: Vec::new(),
+            pending_evictions: Vec::new(),
             events: Vec::new(),
             trace_ops: Vec::new(),
             charges: Vec::new(),
@@ -360,6 +400,9 @@ impl RegionShard {
     /// state plus the read-only [`TickCtx`]; all shared-store writes go
     /// to the shard's output buffers.
     fn tick(&mut self, ctx: &TickCtx<'_>) {
+        if self.chaos.enabled() {
+            self.chaos_pre_tick(ctx);
+        }
         self.publish_due_prices(ctx);
         self.region_demand.tick(ctx.profile(), &mut self.rng);
         self.update_pools(ctx);
@@ -367,6 +410,121 @@ impl RegionShard {
         self.spawn_surges(ctx);
         self.process_spot_requests(ctx);
         self.gc_terminal_requests();
+        if self.chaos.enabled() {
+            self.chaos_post_tick(ctx);
+        }
+    }
+
+    /// Chaos phase A, before the demand step: deliver delayed events
+    /// that have come due, land announced evictions (the pool withholds
+    /// spot capacity for the configured hold), and draw new evictions —
+    /// each announced with a [`CloudEvent::CapacityEvictionNotice`] and
+    /// revocation warnings for the market's running spot instances,
+    /// both carrying the eviction deadline. All draws come from the
+    /// shard's chaos stream, in shard-local phase order.
+    fn chaos_pre_tick(&mut self, ctx: &TickCtx<'_>) {
+        let now = ctx.now;
+
+        // Delayed deliveries, preserving emission order. The shard's
+        // event buffer was drained at the last merge, so released
+        // events precede everything this tick emits.
+        let mut i = 0;
+        while i < self.delayed_events.len() {
+            if self.delayed_events[i].0 <= now {
+                let (_, ev) = self.delayed_events.remove(i);
+                self.events.push(ev);
+            } else {
+                i += 1;
+            }
+        }
+
+        let Some(profile) = self.chaos.evictions else {
+            return;
+        };
+
+        // Announced evictions land: park the pool so new spot requests
+        // see capacity-not-available for the hold.
+        let hold = profile.hold;
+        let mut i = 0;
+        while i < self.pending_evictions.len() {
+            if self.pending_evictions[i].0 <= now {
+                let (_, pi) = self.pending_evictions.remove(i);
+                let parked = &mut self.pools[pi].parked_until;
+                *parked = (*parked).max(now + hold);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Draw new evictions per market. Fixed market order keeps the
+        // draw sequence identical at any thread count.
+        let dt_days = ctx.dt.as_secs() as f64 / 86_400.0;
+        let rate = profile.rate_per_market_day;
+        for mi in 0..self.markets.len() {
+            if !self.chaos.rng.chance(rate * dt_days) {
+                continue;
+            }
+            let market = self.markets[mi].id;
+            let evict_at = now + profile.notice_lead;
+            self.events.push(CloudEvent::CapacityEvictionNotice {
+                market,
+                at: now,
+                evict_at,
+            });
+            self.pending_evictions
+                .push((evict_at, self.markets[mi].pool_idx));
+            // Running instances in the market get their warning now,
+            // with the eviction deadline instead of the standard price
+            // warning.
+            let evicted: Vec<SpotRequestId> = self
+                .active_spot
+                .iter()
+                .copied()
+                .filter(|id| {
+                    self.spot_requests.get(id).is_some_and(|r| {
+                        r.market == market && r.state.current() == SpotRequestState::Fulfilled
+                    })
+                })
+                .collect();
+            for id in evicted {
+                let req = self.spot_requests.get_mut(&id).expect("just matched");
+                req.state
+                    .transition(SpotRequestState::MarkedForTermination, now)
+                    .expect("fulfilled -> marked is legal");
+                req.terminate_at = Some(evict_at);
+                self.events.push(CloudEvent::SpotRevocationWarning {
+                    request: id,
+                    market,
+                    at: now,
+                    terminate_at: evict_at,
+                });
+            }
+        }
+    }
+
+    /// Chaos phase B, after the demand step: hold back a slice of this
+    /// tick's emitted events for delayed delivery. Only *delivery*
+    /// lags — event timestamps and the price trace stay truthful, the
+    /// way a slow notification pipeline lags the published history.
+    fn chaos_post_tick(&mut self, ctx: &TickCtx<'_>) {
+        let Some(delay) = self.chaos.delay else {
+            return;
+        };
+        let mut i = 0;
+        while i < self.events.len() {
+            if self.chaos.rng.chance(delay.probability) {
+                let ev = self.events.remove(i);
+                let ticks = self
+                    .chaos
+                    .rng
+                    .uniform_usize(1, delay.max_delay_ticks as usize + 1)
+                    as u64;
+                let release_at = ctx.now + SimDuration::from_secs(ticks * ctx.dt.as_secs());
+                self.delayed_events.push((release_at, ev));
+            } else {
+                i += 1;
+            }
+        }
     }
 
     fn publish_due_prices(&mut self, ctx: &TickCtx<'_>) {
@@ -878,8 +1036,11 @@ impl Cloud {
         let profile = &config.demand;
         let mut rng = SimRng::seed_from(config.seed);
         // One stream per region, split in canonical region order so a
-        // region's stream depends only on the seed.
+        // region's stream depends only on the seed. Chaos streams are
+        // forked after, so enabling fault injection leaves the demand
+        // streams bit-identical.
         let region_streams = rng.fork_streams(REGION_STREAM_BASE, 9);
+        let chaos_streams = rng.fork_streams(CHAOS_STREAM_BASE, 9);
         let n_levels = profile.level_multiples.len();
 
         let mut region_has_pool = [false; 9];
@@ -888,10 +1049,12 @@ impl Cloud {
         }
         let mut shards: Vec<RegionShard> = Vec::new();
         let mut shard_of_region = [None; 9];
-        for (r, stream) in region_streams.into_iter().enumerate() {
+        for (r, (stream, chaos_stream)) in region_streams.into_iter().zip(chaos_streams).enumerate()
+        {
             if region_has_pool[r] {
                 shard_of_region[r] = Some(shards.len());
-                shards.push(RegionShard::new(r, stream, n_levels));
+                let chaos = ChaosState::for_region(&config.chaos, r, chaos_stream);
+                shards.push(RegionShard::new(r, stream, chaos, n_levels));
             }
         }
 

@@ -7,6 +7,7 @@
 //! sweep the constants DESIGN.md calls out (surge mixture, provisioning
 //! factors, reserve-price floor) to show the shapes are robust.
 
+use crate::chaos::ChaosConfig;
 use crate::ids::{Family, Platform, Region, Size};
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -432,6 +433,11 @@ pub struct SimConfig {
     /// time only — results are bit-identical at any setting (see the
     /// determinism contract in [`crate::cloud`]).
     pub threads: usize,
+    /// Deterministic fault injection (see [`crate::chaos`]). Defaults to
+    /// everything off; stochastic faults draw from dedicated per-region
+    /// chaos streams so enabling them does not perturb the demand
+    /// trajectory of a seed.
+    pub chaos: ChaosConfig,
 }
 
 impl SimConfig {
@@ -458,6 +464,7 @@ impl SimConfig {
         if self.price_lag_secs.1 >= self.tick.as_secs() {
             return Err("price lag must be shorter than a tick".into());
         }
+        self.chaos.validate()?;
         self.demand.validate()
     }
 }
@@ -473,6 +480,7 @@ impl Default for SimConfig {
             limits: ServiceLimits::default(),
             record_all_prices: false,
             threads: 0,
+            chaos: ChaosConfig::default(),
         }
     }
 }

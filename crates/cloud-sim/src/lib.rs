@@ -57,6 +57,7 @@
 pub mod api;
 pub mod billing;
 pub mod catalog;
+pub mod chaos;
 pub mod cloud;
 pub mod config;
 pub mod demand;
@@ -72,6 +73,7 @@ pub mod trace;
 
 pub use api::ApiError;
 pub use catalog::Catalog;
+pub use chaos::ChaosConfig;
 pub use cloud::{Cloud, CloudEvent};
 pub use config::SimConfig;
 pub use engine::{Agent, Ctx, Engine};

@@ -69,8 +69,9 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 
+pub use manager::{LiveConfig, LiveReport, ResilienceConfig};
 pub use policy::{PolicyConfig, SpotLightConfig};
 pub use probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
-pub use query::SpotLightQuery;
+pub use query::{Freshness, SpotLightQuery};
 pub use spotlight::SpotLight;
-pub use store::{DataStore, SharedStore, StoreRead};
+pub use store::{DataStore, RegionHealth, SharedStore, StoreRead};

@@ -1,4 +1,5 @@
-//! The live deployment: Chapter 4's hierarchical managers, as threads.
+//! The live deployment: Chapter 4's hierarchical managers, as threads,
+//! hardened against a misbehaving cloud.
 //!
 //! The paper's prototype ran region managers (one per region, batching
 //! state polls and enforcing service limits), per-market probe managers,
@@ -10,6 +11,41 @@
 //! * **region managers** (one thread per region) run the spike-triggered
 //!   probing policy against the shared cloud, keeping their own
 //!   re-probe (recovery) schedules.
+//!
+//! # The retry/breaker pipeline
+//!
+//! An always-on information service cannot assume a polite cloud (see
+//! [`cloud_sim::chaos`] for the faults it must survive), so every probe
+//! goes through a resilience pipeline:
+//!
+//! 1. **Error classification** — [`cloud_sim::api::ApiError::is_retryable`]
+//!    splits failures into endpoint conditions (throttling, outages,
+//!    transient server errors) and terminal answers. A retryable failure
+//!    is a missing observation, not a negative one.
+//! 2. **Backoff queue** — retryable failures re-enter a per-region
+//!    pending queue with jittered exponential backoff and a per-probe
+//!    attempt budget ([`ResilienceConfig::retry_budget`]); only when the
+//!    budget is exhausted is the probe recorded as
+//!    [`ProbeOutcome::ApiLimited`]. The queue is bounded
+//!    ([`ResilienceConfig::max_pending`]); overflow abandons the oldest
+//!    intent (counted, and recorded as suppressed).
+//! 3. **Circuit breaker** — consecutive transport failures trip a
+//!    per-region breaker: the worker stops hammering the dead endpoint,
+//!    marks the region degraded in the store
+//!    ([`crate::store::DataStore::mark_region_degraded`]), and half-opens
+//!    on a schedule to send trial probes. The first success closes the
+//!    breaker and marks the region recovered, so staleness-aware
+//!    queries ([`crate::query::SpotLightQuery::freshness`]) can tell
+//!    "available" from "we could not look".
+//! 4. **Orphan reaping** — an on-demand probe whose launch succeeded but
+//!    whose terminate failed would leak a service-limit slot forever;
+//!    such instances enter a worker-local orphan list retried every
+//!    batch.
+//!
+//! Provider-pushed [`cloud_sim::cloud::CloudEvent::CapacityEvictionNotice`]
+//! events are recorded as free [`ProbeKind::InterruptionNotice`] records,
+//! so eviction signals sit in the store alongside probe-derived
+//! observations.
 //!
 //! The paper's *database manager* — a thread serializing every write —
 //! is subsumed by the lock-striped [`SharedStore`]: region managers
@@ -24,7 +60,8 @@
 //! demonstrate and test the concurrent architecture (mpsc channels,
 //! [`crate::sync::Mutex`] for the cloud, the store's internal
 //! [`crate::sync::RwLock`] stripes) at the cost of determinism across
-//! thread interleavings. Within one region, probing is deterministic.
+//! thread interleavings. Within one region, probing is deterministic up
+//! to the retry jitter.
 
 use crate::policy::PolicyConfig;
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
@@ -33,8 +70,9 @@ use crate::sync::Mutex;
 use cloud_sim::api::ApiError;
 use cloud_sim::catalog::Catalog;
 use cloud_sim::cloud::{Cloud, CloudEvent};
-use cloud_sim::ids::{MarketId, Region};
+use cloud_sim::ids::{InstanceId, MarketId, Region};
 use cloud_sim::price::Price;
+use cloud_sim::rng::SimRng;
 use cloud_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -44,6 +82,64 @@ use std::thread;
 /// A cloud shared between the driver and the region managers.
 pub type SharedCloud = Arc<Mutex<Cloud>>;
 
+/// Knobs of the per-region retry/breaker pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Maximum transport attempts per probe (first try + retries).
+    /// When exhausted the probe is recorded as
+    /// [`ProbeOutcome::ApiLimited`].
+    pub retry_budget: u32,
+    /// Base backoff delay; attempt `n` waits `base × 2^n`, jittered
+    /// ±50%, capped at [`ResilienceConfig::retry_cap`].
+    pub retry_base: SimDuration,
+    /// Upper bound on a single backoff delay.
+    pub retry_cap: SimDuration,
+    /// Bound on the per-region pending-retry queue; overflow abandons
+    /// the probe intent (counted in [`LiveReport::probes_abandoned`]).
+    pub max_pending: usize,
+    /// Consecutive transport failures that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening to
+    /// send a trial probe.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry_budget: 4,
+            retry_base: SimDuration::from_secs(300),
+            retry_cap: SimDuration::from_secs(3600),
+            max_pending: 256,
+            breaker_threshold: 5,
+            breaker_cooldown: SimDuration::from_secs(1800),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.retry_budget == 0 {
+            return Err("retry_budget must be at least 1".into());
+        }
+        if self.retry_base.is_zero() {
+            return Err("retry_base must be positive".into());
+        }
+        if self.max_pending == 0 {
+            return Err("max_pending must be at least 1".into());
+        }
+        if self.breaker_threshold == 0 {
+            return Err("breaker_threshold must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for a live run.
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
@@ -51,6 +147,18 @@ pub struct LiveConfig {
     pub policy: PolicyConfig,
     /// How long (simulation time) to run.
     pub duration: SimDuration,
+    /// The retry/breaker pipeline knobs.
+    pub resilience: ResilienceConfig,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            policy: PolicyConfig::default(),
+            duration: SimDuration::days(1),
+            resilience: ResilienceConfig::default(),
+        }
+    }
 }
 
 /// Summary of a live run.
@@ -62,17 +170,64 @@ pub struct LiveReport {
     pub per_region_probes: HashMap<Region, usize>,
     /// Ticks driven.
     pub ticks: u64,
+    /// Retry attempts dispatched from the pending queues.
+    pub retries_issued: u64,
+    /// Probe intents dropped because a pending queue overflowed.
+    pub probes_abandoned: u64,
+    /// Circuit-breaker trips across all regions.
+    pub breaker_trips: u64,
+    /// Seconds each region spent with its breaker open or half-open
+    /// (only regions that degraded at all appear).
+    pub degraded_secs: HashMap<Region, u64>,
 }
 
 enum RegionMsg {
+    /// One tick's events for this region, with the tick's timestamp.
+    /// The worker acks after handling so the driver can hold the clock:
+    /// without that backpressure a starved worker's probes would land
+    /// at whatever later cloud time the lock race gives them, sliding
+    /// the probing (and any chaos fault windows) off schedule.
     Events(Vec<CloudEvent>, SimTime),
     Shutdown,
+}
+
+/// A probe intent waiting in the backoff queue.
+#[derive(Debug, Clone, Copy)]
+struct PendingProbe {
+    market: MarketId,
+    trigger: ProbeTrigger,
+    due: SimTime,
+    /// Transport attempts already spent on this intent.
+    attempt: u32,
+}
+
+/// Circuit-breaker state of one region's transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Transport healthy; calls flow.
+    Closed,
+    /// Tripped: no calls until `until`.
+    Open { until: SimTime },
+    /// Cooldown elapsed: trial calls allowed; first success closes,
+    /// first failure re-opens.
+    HalfOpen,
+}
+
+/// The robustness counters one worker accumulates.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    probes_issued: usize,
+    retries_issued: u64,
+    probes_abandoned: u64,
+    breaker_trips: u64,
+    degraded_secs: u64,
 }
 
 /// One region manager's probing state.
 struct RegionWorker {
     region: Region,
     policy: PolicyConfig,
+    resilience: ResilienceConfig,
     cloud: SharedCloud,
     /// The immutable market catalog, cloned once at spawn so lookups
     /// need no cloud lock.
@@ -81,31 +236,132 @@ struct RegionWorker {
     cooldown_until: HashMap<MarketId, SimTime>,
     /// Markets awaiting recovery, with their next re-probe time.
     recovery_due: HashMap<MarketId, SimTime>,
-    probes_issued: usize,
+    /// Probe intents waiting out a backoff or an open breaker.
+    pending: Vec<PendingProbe>,
+    /// Launched instances whose terminate call failed; retried every
+    /// batch so they cannot leak service-limit slots.
+    orphans: Vec<InstanceId>,
+    breaker: Breaker,
+    consecutive_failures: u32,
+    /// Start of the current degraded episode, while one is open.
+    degraded_since: Option<SimTime>,
+    /// Backoff jitter source. Worker-local: live mode is already
+    /// nondeterministic across thread interleavings.
+    rng: SimRng,
+    stats: WorkerStats,
+    /// Per-batch ack back to the driver (the lockstep backpressure).
+    ack: Sender<()>,
+}
+
+/// What one transport attempt produced.
+enum Attempt {
+    /// The endpoint answered (any answer, including a capacity
+    /// rejection or a terminal error): record this outcome.
+    Answered(ProbeOutcome, Price),
+    /// The endpoint itself failed (throttle/outage/transient): retry.
+    Failed,
 }
 
 impl RegionWorker {
     fn probe_od(&mut self, market: MarketId, trigger: ProbeTrigger, now: SimTime) {
+        self.probe_od_attempt(market, trigger, now, 0);
+    }
+
+    fn probe_od_attempt(
+        &mut self,
+        market: MarketId,
+        trigger: ProbeTrigger,
+        now: SimTime,
+        attempt: u32,
+    ) {
+        if !self.breaker_allows(now) {
+            // No attempt is spent while the breaker is open — the
+            // intent waits for the half-open trial window.
+            let due = match self.breaker {
+                Breaker::Open { until } => until,
+                _ => now + self.resilience.retry_base,
+            };
+            self.enqueue(PendingProbe {
+                market,
+                trigger,
+                due,
+                attempt,
+            });
+            return;
+        }
         let od_price = self.catalog.od_price(market);
         // Cloud critical section: just the API call and the price read.
-        let (outcome, cost, spot_ratio) = {
+        let (attempt_result, spot_ratio) = {
             let mut cloud = self.cloud.lock();
-            let (outcome, cost) = match cloud.run_od_instance(market) {
-                Ok(id) => {
-                    let cost = cloud.terminate_od_instance(id).unwrap_or(od_price);
-                    (ProbeOutcome::Fulfilled, cost)
-                }
+            let result = match cloud.run_od_instance(market) {
+                Ok(id) => match cloud.terminate_od_instance(id) {
+                    Ok(cost) => Attempt::Answered(ProbeOutcome::Fulfilled, cost),
+                    Err(e) => {
+                        // The observation stands (the launch succeeded;
+                        // the one-hour minimum is the best cost
+                        // estimate), but the instance now occupies a
+                        // service-limit slot until the reaper frees it.
+                        if e.is_retryable() {
+                            self.orphans.push(id);
+                        }
+                        Attempt::Answered(ProbeOutcome::Fulfilled, od_price)
+                    }
+                },
                 Err(ApiError::InsufficientInstanceCapacity { .. }) => {
-                    (ProbeOutcome::InsufficientCapacity, Price::ZERO)
+                    Attempt::Answered(ProbeOutcome::InsufficientCapacity, Price::ZERO)
                 }
-                Err(_) => (ProbeOutcome::ApiLimited, Price::ZERO),
+                Err(e) if e.is_retryable() => Attempt::Failed,
+                Err(_) => Attempt::Answered(ProbeOutcome::ApiLimited, Price::ZERO),
             };
             let spot_ratio = cloud
                 .oracle_published_price(market)
                 .map_or(0.0, |p| p.ratio_to(od_price));
-            (outcome, cost, spot_ratio)
+            (result, spot_ratio)
         };
-        self.probes_issued += 1;
+        match attempt_result {
+            Attempt::Answered(outcome, cost) => {
+                self.on_transport_success(now);
+                self.record(market, trigger, outcome, spot_ratio, cost, now);
+            }
+            Attempt::Failed => {
+                self.on_transport_failure(now);
+                if attempt + 1 < self.resilience.retry_budget {
+                    let due = now + self.backoff(attempt);
+                    self.enqueue(PendingProbe {
+                        market,
+                        trigger,
+                        due,
+                        attempt: attempt + 1,
+                    });
+                } else {
+                    // Budget exhausted: the missing observation is
+                    // recorded as the probe having been squeezed out.
+                    self.record(
+                        market,
+                        trigger,
+                        ProbeOutcome::ApiLimited,
+                        spot_ratio,
+                        Price::ZERO,
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Records a probe outcome and maintains the recovery schedule.
+    /// The single `record_probe` call site keeps `probes_issued` equal
+    /// to the store's record count for this worker.
+    fn record(
+        &mut self,
+        market: MarketId,
+        trigger: ProbeTrigger,
+        outcome: ProbeOutcome,
+        spot_ratio: f64,
+        cost: Price,
+        now: SimTime,
+    ) {
+        self.stats.probes_issued += 1;
         // Direct striped write: locks only this market's stripe.
         self.store.record_probe(ProbeRecord {
             at: now,
@@ -130,8 +386,123 @@ impl RegionWorker {
         }
     }
 
+    /// The jittered exponential backoff delay of the given attempt.
+    fn backoff(&mut self, attempt: u32) -> SimDuration {
+        let base = self.resilience.retry_base.as_secs();
+        let cap = self.resilience.retry_cap.as_secs().max(base);
+        let raw = base.saturating_mul(1u64 << attempt.min(16)).min(cap);
+        let jittered = (raw as f64 * self.rng.uniform_range(0.5, 1.5)).max(1.0);
+        SimDuration::from_secs(jittered as u64)
+    }
+
+    fn enqueue(&mut self, p: PendingProbe) {
+        if self.pending.len() >= self.resilience.max_pending {
+            // Queue full: the intent is lost. Count it both locally and
+            // as a suppressed probe so the loss shows in the store too.
+            self.stats.probes_abandoned += 1;
+            self.store.record_suppressed();
+            return;
+        }
+        self.pending.push(p);
+    }
+
+    /// Whether the breaker lets a call through at `now`, transitioning
+    /// open → half-open when the cooldown has elapsed.
+    fn breaker_allows(&mut self, now: SimTime) -> bool {
+        match self.breaker {
+            Breaker::Closed | Breaker::HalfOpen => true,
+            Breaker::Open { until } if now >= until => {
+                self.breaker = Breaker::HalfOpen;
+                true
+            }
+            Breaker::Open { .. } => false,
+        }
+    }
+
+    fn on_transport_success(&mut self, now: SimTime) {
+        self.consecutive_failures = 0;
+        if self.breaker != Breaker::Closed {
+            self.breaker = Breaker::Closed;
+            self.store.mark_region_recovered(self.region, now);
+            if let Some(since) = self.degraded_since.take() {
+                self.stats.degraded_secs += now.saturating_since(since).as_secs();
+            }
+        }
+    }
+
+    fn on_transport_failure(&mut self, now: SimTime) {
+        match self.breaker {
+            Breaker::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.resilience.breaker_threshold {
+                    self.breaker = Breaker::Open {
+                        until: now + self.resilience.breaker_cooldown,
+                    };
+                    self.stats.breaker_trips += 1;
+                    self.degraded_since = Some(now);
+                    self.store.mark_region_degraded(self.region, now);
+                }
+            }
+            // A failed half-open trial re-opens the breaker; the
+            // degraded episode continues, no new trip.
+            Breaker::HalfOpen => {
+                self.breaker = Breaker::Open {
+                    until: now + self.resilience.breaker_cooldown,
+                };
+            }
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    /// Retries terminate calls for instances whose first terminate
+    /// failed. Keeps only the ones that fail retryably again.
+    fn reap_orphans(&mut self, now: SimTime) {
+        if self.orphans.is_empty() || !self.breaker_allows(now) {
+            return;
+        }
+        let orphans = std::mem::take(&mut self.orphans);
+        let mut cloud = self.cloud.lock();
+        for id in orphans {
+            match cloud.terminate_od_instance(id) {
+                Err(e) if e.is_retryable() => self.orphans.push(id),
+                // Terminated (the duplicate charge supersedes the
+                // estimate already recorded) or gone: either way the
+                // slot is free.
+                _ => {}
+            }
+        }
+    }
+
+    /// Dispatches pending probes that have come due. Dispatching can
+    /// re-enqueue (breaker still open, next backoff step), so it runs
+    /// over a drained snapshot.
+    fn dispatch_due(&mut self, now: SimTime) {
+        if self.pending.iter().all(|p| p.due > now) {
+            return;
+        }
+        let mut queue = std::mem::take(&mut self.pending);
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].due <= now {
+                let p = queue.swap_remove(i);
+                if p.attempt > 0 {
+                    self.stats.retries_issued += 1;
+                }
+                self.probe_od_attempt(p.market, p.trigger, now, p.attempt);
+            } else {
+                i += 1;
+            }
+        }
+        // Anything probe_od_attempt re-enqueued joins the survivors.
+        queue.append(&mut self.pending);
+        self.pending = queue;
+    }
+
     fn handle_events(&mut self, events: Vec<CloudEvent>, now: SimTime) {
-        // Due recovery probes first (the batch cadence is the tick).
+        self.reap_orphans(now);
+        self.dispatch_due(now);
+
+        // Due recovery probes (the batch cadence is the tick).
         let due: Vec<MarketId> = self
             .recovery_due
             .iter()
@@ -145,8 +516,30 @@ impl RegionWorker {
         }
 
         for event in events {
-            let CloudEvent::PriceChange { market, price, .. } = event else {
-                continue;
+            let market = match event {
+                CloudEvent::PriceChange { market, .. } => market,
+                CloudEvent::CapacityEvictionNotice {
+                    market, evict_at, ..
+                } => {
+                    // A provider-pushed interruption notice: a free
+                    // observation, recorded without any API call.
+                    self.stats.probes_issued += 1;
+                    self.store.record_probe(ProbeRecord {
+                        at: now,
+                        market,
+                        kind: ProbeKind::InterruptionNotice,
+                        trigger: ProbeTrigger::EvictionNotice { evict_at },
+                        outcome: ProbeOutcome::CapacityNotAvailable,
+                        spot_ratio: 0.0,
+                        bid: None,
+                        cost: Price::ZERO,
+                    });
+                    continue;
+                }
+                _ => continue,
+            };
+            let CloudEvent::PriceChange { price, .. } = event else {
+                unreachable!("only price changes fall through");
             };
             debug_assert_eq!(market.region(), self.region);
             let ratio = price.ratio_to(self.catalog.od_price(market));
@@ -200,23 +593,35 @@ impl RegionWorker {
         }
     }
 
-    fn run(mut self, rx: Receiver<RegionMsg>) -> usize {
+    fn run(mut self, rx: Receiver<RegionMsg>) -> WorkerStats {
+        let mut last_now = SimTime::ZERO;
         while let Ok(msg) = rx.recv() {
             match msg {
-                RegionMsg::Events(events, now) => self.handle_events(events, now),
+                RegionMsg::Events(events, now) => {
+                    last_now = now;
+                    self.handle_events(events, now);
+                    let _ = self.ack.send(());
+                }
                 RegionMsg::Shutdown => break,
             }
         }
-        self.probes_issued
+        // Fold a still-open degraded episode into the counters so the
+        // report sees it even when the run ends mid-outage.
+        if let Some(since) = self.degraded_since.take() {
+            self.stats.degraded_secs += last_now.saturating_since(since).as_secs();
+        }
+        self.stats
     }
 }
 
 /// Runs the threaded deployment over `cloud` and records into `store`.
 ///
 /// Returns the cloud (for post-run oracle inspection) and a run summary.
-/// The store passed in receives every probe and spike.
+/// The store passed in receives every probe and spike, plus region
+/// degradation markers from the workers' circuit breakers.
 pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud, LiveReport) {
     config.policy.validate().expect("invalid policy");
+    config.resilience.validate().expect("invalid resilience");
     let regions: Vec<Region> = cloud.catalog().regions();
     let catalog = cloud.catalog().clone();
     // The report counts THIS run's probes even on a pre-populated store.
@@ -224,6 +629,7 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     let shared: SharedCloud = Arc::new(Mutex::new(cloud));
 
     // Region managers, writing straight into the striped store.
+    let (ack_tx, ack_rx) = channel::<()>();
     let mut region_txs: HashMap<Region, Sender<RegionMsg>> = HashMap::new();
     let mut handles = Vec::new();
     for &region in &regions {
@@ -232,15 +638,24 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
         let worker = RegionWorker {
             region,
             policy: config.policy.clone(),
+            resilience: config.resilience.clone(),
             cloud: shared.clone(),
             catalog: catalog.clone(),
             store: store.clone(),
             cooldown_until: HashMap::new(),
             recovery_due: HashMap::new(),
-            probes_issued: 0,
+            pending: Vec::new(),
+            orphans: Vec::new(),
+            breaker: Breaker::Closed,
+            consecutive_failures: 0,
+            degraded_since: None,
+            rng: SimRng::seed_from(0x00C0_FFEE ^ region.index() as u64),
+            stats: WorkerStats::default(),
+            ack: ack_tx.clone(),
         };
         handles.push((region, thread::spawn(move || worker.run(rx))));
     }
+    drop(ack_tx);
 
     // Driver: advance the cloud, fan events out per region. The drain
     // buffer and the per-region routing map are reused across ticks;
@@ -259,15 +674,25 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             cloud.now()
         };
         for event in events.drain(..) {
-            if let CloudEvent::PriceChange { market, .. } = event {
-                if let Some(batch) = per_region.get_mut(&market.region()) {
-                    batch.push(event);
-                }
+            let market = match event {
+                CloudEvent::PriceChange { market, .. }
+                | CloudEvent::CapacityEvictionNotice { market, .. } => market,
+                _ => continue,
+            };
+            if let Some(batch) = per_region.get_mut(&market.region()) {
+                batch.push(event);
             }
         }
         for (&region, tx) in &region_txs {
             let batch = std::mem::take(per_region.get_mut(&region).expect("prebuilt"));
             let _ = tx.send(RegionMsg::Events(batch, now));
+        }
+        // Lockstep: hold the clock until every region manager drained
+        // this tick's batch, so probes (and chaos faults) happen at the
+        // simulated times they were scheduled for, independent of how
+        // the OS schedules the worker threads.
+        for _ in 0..region_txs.len() {
+            ack_rx.recv().expect("a region manager died mid-run");
         }
     }
     for tx in region_txs.values() {
@@ -275,8 +700,19 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     }
 
     let mut per_region_probes = HashMap::new();
+    let mut retries_issued = 0;
+    let mut probes_abandoned = 0;
+    let mut breaker_trips = 0;
+    let mut degraded_secs = HashMap::new();
     for (region, handle) in handles {
-        per_region_probes.insert(region, handle.join().expect("region manager panicked"));
+        let stats = handle.join().expect("region manager panicked");
+        per_region_probes.insert(region, stats.probes_issued);
+        retries_issued += stats.retries_issued;
+        probes_abandoned += stats.probes_abandoned;
+        breaker_trips += stats.breaker_trips;
+        if stats.degraded_secs > 0 {
+            degraded_secs.insert(region, stats.degraded_secs);
+        }
     }
     let probes = store.len() - probes_at_start;
 
@@ -289,6 +725,10 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             probes,
             per_region_probes,
             ticks,
+            retries_issued,
+            probes_abandoned,
+            breaker_trips,
+            degraded_secs,
         },
     )
 }
@@ -323,6 +763,7 @@ mod tests {
                 ..PolicyConfig::default()
             },
             duration: SimDuration::days(2),
+            ..LiveConfig::default()
         };
         let (cloud, report) = run_live(cloud, store.clone(), config);
         assert_eq!(report.ticks, 2 * 86_400 / 300);
@@ -340,6 +781,11 @@ mod tests {
         // between the workers' direct stripe writes and the store.
         let sum: usize = report.per_region_probes.values().sum();
         assert_eq!(sum, report.probes);
+        // No chaos here, but ordinary rate-limit throttling is a
+        // transport failure too, so the breaker may legitimately trip.
+        // What must hold: degraded time is only accounted against
+        // regions whose breaker actually tripped.
+        assert!(report.degraded_secs.is_empty() || report.breaker_trips > 0);
     }
 
     #[test]
@@ -358,9 +804,30 @@ mod tests {
                     ..PolicyConfig::default()
                 },
                 duration: SimDuration::days(3),
+                ..LiveConfig::default()
             },
         );
         assert!(report.probes > 0, "expected probes in three days");
         assert!(store.read().spikes().next().is_some());
+    }
+
+    #[test]
+    fn resilience_validation_catches_zeros() {
+        let r = ResilienceConfig {
+            retry_budget: 0,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            breaker_threshold: 0,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            max_pending: 0,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+        ResilienceConfig::default().validate().unwrap();
     }
 }

@@ -20,6 +20,11 @@ pub enum ProbeKind {
     OnDemand,
     /// A spot instance request with an explicit bid.
     Spot,
+    /// Not a request at all: a provider-pushed capacity interruption
+    /// notice (a `CapacityEvictionNotice` cloud event). Free — no API
+    /// call — and recorded so the diverse failure signals real
+    /// providers emit are visible alongside probe-derived observations.
+    InterruptionNotice,
 }
 
 /// Why SpotLight issued a probe.
@@ -62,6 +67,12 @@ pub enum ProbeTrigger {
     BidSearch,
     /// A revocation-observation hold (`Revocation`).
     RevocationWatch,
+    /// A provider-pushed capacity eviction notice was received for the
+    /// market (no probe was sent; the record is the notice itself).
+    EvictionNotice {
+        /// When the announced reclaim lands.
+        evict_at: SimTime,
+    },
 }
 
 impl ProbeTrigger {

@@ -41,6 +41,36 @@ impl AvailabilityStats {
     }
 }
 
+/// How current the store's knowledge of one `(market, kind)` is.
+///
+/// An availability estimate computed from week-old probes during a
+/// regional API outage is not the same answer as one backed by a probe
+/// from a minute ago; this struct is how queries say so instead of
+/// fabricating confidence (the staleness half of the live mode's
+/// graceful degradation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Freshness {
+    /// When the last *informative* probe of the key landed (probes that
+    /// carried no availability information — `ApiLimited` — do not
+    /// count). `None` when the key was never informatively observed.
+    pub last_informative: Option<SimTime>,
+    /// Age of that observation at the query span's end (the query's
+    /// "now"). `None` when never observed.
+    pub age: Option<SimDuration>,
+    /// Whether the market's region is currently marked degraded by a
+    /// live-mode circuit breaker — probes there are failing at the
+    /// transport, so estimates cannot be refreshed.
+    pub region_degraded: bool,
+}
+
+impl Freshness {
+    /// True when the key has an informative observation no older than
+    /// `max_age` *and* the region's transport is healthy.
+    pub fn is_fresh(&self, max_age: SimDuration) -> bool {
+        !self.region_degraded && self.age.is_some_and(|a| a <= max_age)
+    }
+}
+
 /// The query interface over a probe-database snapshot.
 #[derive(Debug, Clone, Copy)]
 pub struct SpotLightQuery<'a> {
@@ -91,6 +121,44 @@ impl<'a> SpotLightQuery<'a> {
             unavailable_fraction: self.unavailable_seconds(market, kind) as f64 / span_secs as f64,
             intervals: self.store.closed_interval_count(market, kind),
         }
+    }
+
+    /// How current the store's knowledge of `(market, kind)` is, aged
+    /// against the query span's end.
+    pub fn freshness(&self, market: MarketId, kind: ProbeKind) -> Freshness {
+        let last = self.store.last_informative_at(market, kind);
+        let (_, end) = self.span;
+        Freshness {
+            last_informative: last,
+            age: last.map(|t| end.saturating_since(t)),
+            region_degraded: self
+                .store
+                .region_health(market.region())
+                .is_some_and(|h| h.degraded),
+        }
+    }
+
+    /// Availability summary of `(market, kind)` qualified with how
+    /// trustworthy it currently is — the staleness-aware variant of
+    /// [`SpotLightQuery::availability`]. Callers that act on estimates
+    /// (fallback selection, bid advice) should prefer this and check
+    /// [`Freshness::is_fresh`] before trusting the stats.
+    pub fn availability_qualified(
+        &self,
+        market: MarketId,
+        kind: ProbeKind,
+    ) -> (AvailabilityStats, Freshness) {
+        (
+            self.availability(market, kind),
+            self.freshness(market, kind),
+        )
+    }
+
+    /// Regions currently marked degraded by live-mode circuit breakers,
+    /// in `Region` order. Estimates there are frozen at their last
+    /// pre-fault observation.
+    pub fn degraded_regions(&self) -> Vec<Region> {
+        self.store.degraded_regions()
     }
 
     /// All measured unavailability durations of a contract kind,
@@ -420,6 +488,52 @@ mod tests {
         q.rejection_counts_by_region_into(&mut counts);
         assert_eq!(counts, HashMap::from([(Region::UsEast1, 1u64)]));
         assert_eq!(counts, q.rejection_counts_by_region());
+    }
+
+    #[test]
+    fn freshness_ages_against_span_end_and_flags_degraded_regions() {
+        let s = DataStore::new();
+        let m = market(0, "c3.large");
+        let (a, b) = hour_span();
+        // Never observed: no age, not fresh at any horizon.
+        {
+            let r = s.read();
+            let q = SpotLightQuery::new(&r, a, b);
+            let f = q.freshness(m, ProbeKind::OnDemand);
+            assert_eq!(f.last_informative, None);
+            assert_eq!(f.age, None);
+            assert!(!f.is_fresh(SimDuration::days(365)));
+        }
+        // An informative probe sets the clock; ApiLimited does not.
+        s.record_probe(probe(600, m, ProbeOutcome::Fulfilled));
+        s.record_probe(probe(3000, m, ProbeOutcome::ApiLimited));
+        {
+            let r = s.read();
+            let q = SpotLightQuery::new(&r, a, b);
+            let f = q.freshness(m, ProbeKind::OnDemand);
+            assert_eq!(f.last_informative, Some(SimTime::from_secs(600)));
+            assert_eq!(f.age, Some(SimDuration::from_secs(3000)));
+            assert!(f.is_fresh(SimDuration::from_secs(3000)));
+            assert!(!f.is_fresh(SimDuration::from_secs(2999)));
+            assert!(!f.region_degraded);
+        }
+        // A degraded region poisons freshness regardless of age.
+        s.mark_region_degraded(Region::UsEast1, SimTime::from_secs(3100));
+        {
+            let r = s.read();
+            let q = SpotLightQuery::new(&r, a, b);
+            let (st, f) = q.availability_qualified(m, ProbeKind::OnDemand);
+            assert_eq!(st.probes, 1);
+            assert!(f.region_degraded);
+            assert!(!f.is_fresh(SimDuration::days(365)));
+            assert_eq!(q.degraded_regions(), vec![Region::UsEast1]);
+        }
+        // Recovery clears the flag.
+        s.mark_region_recovered(Region::UsEast1, SimTime::from_secs(3200));
+        let r = s.read();
+        let q = SpotLightQuery::new(&r, a, b);
+        assert!(q.freshness(m, ProbeKind::OnDemand).is_fresh(b - a));
+        assert!(q.degraded_regions().is_empty());
     }
 
     #[test]

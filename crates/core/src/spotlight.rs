@@ -481,6 +481,8 @@ impl Agent for SpotLight {
                     ProbeKind::Spot => {
                         self.probe_spot(ctx, market, ProbeTrigger::Recovery, None);
                     }
+                    // Notices are pushed by the provider, never probed for.
+                    ProbeKind::InterruptionNotice => {}
                 }
             }
             Action::SpotCheckBatch => self.run_spot_check_batch(ctx),
@@ -505,6 +507,22 @@ impl Agent for SpotLight {
                         released_at: Some(at),
                     });
                 }
+            }
+            CloudEvent::CapacityEvictionNotice {
+                market, evict_at, ..
+            } => {
+                // A provider-pushed interruption notice (chaos-injected
+                // capacity eviction): a free unavailability observation.
+                self.store.record_probe(ProbeRecord {
+                    at: ctx.now(),
+                    market,
+                    kind: ProbeKind::InterruptionNotice,
+                    trigger: ProbeTrigger::EvictionNotice { evict_at },
+                    outcome: ProbeOutcome::CapacityNotAvailable,
+                    spot_ratio: 0.0,
+                    bid: None,
+                    cost: Price::ZERO,
+                });
             }
             _ => {}
         }

@@ -298,6 +298,10 @@ struct KeyState {
     closed_intervals: u64,
     /// Time-sorted timestamps of unavailable-outcome probes.
     rejection_times: Vec<SimTime>,
+    /// Latest informative probe timestamp — the freshness anchor of
+    /// [`StoreRead::last_informative_at`]. A max, not a last-write, so
+    /// out-of-order live-mode arrivals cannot move it backwards.
+    last_informative: Option<SimTime>,
     epochs: EpochSeries,
     /// Set once the key's intervals stop being start-sorted and
     /// non-overlapping (possible under live-mode reordering); the
@@ -322,8 +326,24 @@ struct Stripe {
     intrinsic_bids: Vec<IntrinsicBidRecord>,
 }
 
+/// The health of one region's probing transport, as the live pipeline's
+/// circuit breakers report it (see `crate::manager`). Degraded means
+/// the region's API was failing persistently — the region's recent
+/// observations are missing, not negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegionHealth {
+    /// Whether the region is currently marked degraded.
+    pub degraded: bool,
+    /// When the current (or latest) degraded episode began.
+    pub since: SimTime,
+    /// Total seconds spent degraded over completed episodes.
+    pub degraded_secs: u64,
+    /// Completed + ongoing degraded episodes (breaker trips).
+    pub trips: u64,
+}
+
 /// The in-memory database: N independently locked stripes plus
-/// store-wide atomic counters.
+/// store-wide atomic counters and the region-health table.
 #[derive(Debug)]
 pub struct DataStore {
     stripes: Box<[RwLock<Stripe>]>,
@@ -331,6 +351,10 @@ pub struct DataStore {
     recorded_probes: AtomicU64,
     total_cost_micros: AtomicU64,
     suppressed_probes: AtomicU64,
+    /// Region degradation markers, written by live-mode circuit
+    /// breakers. A separate (tiny, rarely written) lock so marking a
+    /// region never contends with probe ingest.
+    region_health: RwLock<HashMap<Region, RegionHealth>>,
 }
 
 impl Default for DataStore {
@@ -402,6 +426,7 @@ impl DataStore {
             recorded_probes: AtomicU64::new(0),
             total_cost_micros: AtomicU64::new(0),
             suppressed_probes: AtomicU64::new(0),
+            region_health: RwLock::default(),
         }
     }
 
@@ -463,6 +488,36 @@ impl DataStore {
     /// budget or service limits.
     pub fn record_suppressed(&self) {
         self.suppressed_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a region's probing transport degraded (a live-mode circuit
+    /// breaker tripped at `at`). Idempotent while already degraded.
+    pub fn mark_region_degraded(&self, region: Region, at: SimTime) {
+        let mut health = self.region_health.write();
+        let h = health.entry(region).or_default();
+        if !h.degraded {
+            h.degraded = true;
+            h.since = at;
+            h.trips += 1;
+        }
+    }
+
+    /// Marks a region's probing transport recovered at `at`, folding the
+    /// episode into `degraded_secs`. A no-op if the region was never
+    /// marked degraded.
+    pub fn mark_region_recovered(&self, region: Region, at: SimTime) {
+        let mut health = self.region_health.write();
+        if let Some(h) = health.get_mut(&region) {
+            if h.degraded {
+                h.degraded = false;
+                h.degraded_secs += at.saturating_since(h.since).as_secs();
+            }
+        }
+    }
+
+    /// The health record of one region, if a breaker ever reported it.
+    pub fn region_health(&self, region: Region) -> Option<RegionHealth> {
+        self.region_health.read().get(&region).copied()
     }
 
     /// Records a revocation-watch observation.
@@ -594,6 +649,8 @@ impl Stripe {
         let state = self.keys.entry(key).or_default();
         if probe.outcome.is_informative() {
             state.stats.informative += 1;
+            state.last_informative =
+                Some(state.last_informative.map_or(probe.at, |t| t.max(probe.at)));
             let cell = state.epochs.cell(epoch);
             cell.informative += 1;
             if probe.outcome.is_unavailable() {
@@ -987,6 +1044,34 @@ impl StoreRead<'_> {
             .is_some_and(|k| k.open.is_some())
     }
 
+    /// The latest informative probe timestamp of `(market, kind)` —
+    /// the freshness anchor of [`crate::query::SpotLightQuery::freshness`].
+    /// `None` when the key has never produced an informative
+    /// observation.
+    pub fn last_informative_at(&self, market: MarketId, kind: ProbeKind) -> Option<SimTime> {
+        self.stripe_for(market)
+            .keys
+            .get(&(market, kind))
+            .and_then(|k| k.last_informative)
+    }
+
+    /// The health record of one region, if a breaker ever reported it.
+    pub fn region_health(&self, region: Region) -> Option<RegionHealth> {
+        self.store.region_health(region)
+    }
+
+    /// Regions currently marked degraded, in canonical region order.
+    pub fn degraded_regions(&self) -> Vec<Region> {
+        let health = self.store.region_health.read();
+        let mut out: Vec<Region> = health
+            .iter()
+            .filter(|(_, h)| h.degraded)
+            .map(|(&r, _)| r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// All revocation observations.
     pub fn revocations(&self) -> impl Iterator<Item = &RevocationRecord> + '_ {
         self.stripes.iter().flat_map(|s| s.revocations.iter())
@@ -1335,5 +1420,55 @@ mod tests {
         assert!(r.probes().all(|p| p.at >= horizon));
         assert!(r.spikes().all(|sp| sp.at >= horizon));
         assert!(r.probed_markets().any(|pm| pm == m), "market stays known");
+    }
+
+    #[test]
+    fn last_informative_tracks_max_not_last_write() {
+        let s = DataStore::new();
+        let m = market(0);
+        assert_eq!(s.read().last_informative_at(m, ProbeKind::OnDemand), None);
+        s.record_probe(probe(100, m, ProbeOutcome::Fulfilled));
+        s.record_probe(probe(500, m, ProbeOutcome::InsufficientCapacity));
+        // ApiLimited is not informative: it must not advance freshness.
+        s.record_probe(probe(900, m, ProbeOutcome::ApiLimited));
+        // An out-of-order arrival must not move freshness backwards.
+        s.record_probe(probe(300, m, ProbeOutcome::Fulfilled));
+        assert_eq!(
+            s.read().last_informative_at(m, ProbeKind::OnDemand),
+            Some(SimTime::from_secs(500))
+        );
+        assert_eq!(s.read().last_informative_at(m, ProbeKind::Spot), None);
+    }
+
+    #[test]
+    fn region_health_episodes_accumulate() {
+        let s = DataStore::new();
+        let r = Region::ApSoutheast2;
+        assert_eq!(s.region_health(r), None);
+        s.mark_region_degraded(r, SimTime::from_secs(1000));
+        // Re-marking while degraded is idempotent.
+        s.mark_region_degraded(r, SimTime::from_secs(1500));
+        {
+            let read = s.read();
+            assert_eq!(read.degraded_regions(), vec![r]);
+            let h = read.region_health(r).unwrap();
+            assert!(h.degraded);
+            assert_eq!(h.trips, 1);
+            assert_eq!(h.since, SimTime::from_secs(1000));
+        }
+        s.mark_region_recovered(r, SimTime::from_secs(4000));
+        let h = s.region_health(r).unwrap();
+        assert!(!h.degraded);
+        assert_eq!(h.degraded_secs, 3000);
+        // A second episode bumps trips and adds seconds.
+        s.mark_region_degraded(r, SimTime::from_secs(5000));
+        s.mark_region_recovered(r, SimTime::from_secs(5600));
+        let h = s.region_health(r).unwrap();
+        assert_eq!(h.trips, 2);
+        assert_eq!(h.degraded_secs, 3600);
+        assert!(s.read().degraded_regions().is_empty());
+        // Recovering a never-degraded region is a no-op.
+        s.mark_region_recovered(Region::EuWest1, SimTime::from_secs(1));
+        assert_eq!(s.region_health(Region::EuWest1), None);
     }
 }

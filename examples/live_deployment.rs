@@ -1,21 +1,33 @@
 //! Live deployment: the Chapter 4 manager hierarchy with real threads —
 //! one region manager per region probing concurrently against the shared
-//! cloud, and a database manager serializing all writes.
+//! cloud — run through a chaos schedule to show the retry/breaker
+//! pipeline degrading gracefully and recovering.
 //!
 //! ```sh
 //! cargo run --release -p spotlight-tests --example live_deployment
 //! ```
 
 use cloud_sim::catalog::Catalog;
+use cloud_sim::chaos::ChaosWindow;
 use cloud_sim::cloud::Cloud;
 use cloud_sim::config::SimConfig;
-use cloud_sim::time::SimDuration;
+use cloud_sim::ids::Region;
+use cloud_sim::time::{SimDuration, SimTime};
 use spotlight_core::manager::{run_live, LiveConfig};
 use spotlight_core::policy::PolicyConfig;
 use spotlight_core::store::shared_store;
 
 fn main() {
-    let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(31));
+    let mut sim = SimConfig::paper(31);
+    // A six-hour us-east-1 API outage on day two: the region manager's
+    // circuit breaker must trip, the store must flag the region
+    // degraded, and probing must converge back afterwards.
+    sim.chaos.outages.push(ChaosWindow {
+        region: Region::UsEast1,
+        start: SimTime::from_secs(86_400),
+        duration: SimDuration::hours(6),
+    });
+    let mut cloud = Cloud::new(Catalog::testbed(), sim);
     cloud.warmup(50);
 
     let store = shared_store();
@@ -25,6 +37,7 @@ fn main() {
             ..PolicyConfig::default()
         },
         duration: SimDuration::days(3),
+        ..LiveConfig::default()
     };
 
     println!("driving the cloud with one region-manager thread per region...");
@@ -38,6 +51,13 @@ fn main() {
     );
     for (region, probes) in &report.per_region_probes {
         println!("  region manager {region}: {probes} probes issued");
+    }
+    println!(
+        "resilience: {} retries, {} abandoned, {} breaker trips",
+        report.retries_issued, report.probes_abandoned, report.breaker_trips
+    );
+    for (region, secs) in &report.degraded_secs {
+        println!("  {region} spent {secs}s degraded (breaker open)");
     }
 
     let db = store.read();

@@ -22,6 +22,9 @@ TOLERANCE="${TOLERANCE:-1.3}"
 # variant is machine-portable enough to gate.
 # store_ingest_contended/* and store_window_sweep_1m/* (PR 4) gate the
 # striped-store ingest path and the epoch-summarized month sweep.
+# tick/tick_chaos_disabled pins the chaos layer's disabled-path cost:
+# with ChaosConfig::default() the tick pays one bool branch per shard,
+# so this bench must track tick/testbed_tick.
 TRACKED='^(tick|tick_component|store_query_100k|store_ingest_contended|store_window_sweep_1m)/|^tick_threads/1$'
 
 BASELINE="${1:-}"

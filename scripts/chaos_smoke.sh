@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Seeded chaos soak for the verify path: drives the threaded live-mode
+# deployment through a regional API outage, a throttling storm, and a
+# transient-error burst (tests/live_mode.rs, seed 53) and checks the
+# retry/breaker pipeline degrades gracefully and recovers, then replays
+# the chaos schedule at several thread counts to hold the determinism
+# contract (tests/determinism.rs).
+#
+# Usage:
+#   scripts/chaos_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== chaos smoke: live-mode soak (outage + storm + burst) =="
+cargo test --release --test live_mode chaos_soak_degrades_gracefully_and_recovers
+
+echo "== chaos smoke: fault-schedule determinism across thread counts =="
+cargo test --release --test determinism chaos_schedule_is_thread_count_invariant
+
+echo "chaos smoke: OK"

@@ -6,10 +6,12 @@
 //! and held-request re-evaluation inside the parallel phase.
 
 use cloud_sim::catalog::{Catalog, CatalogBuilder};
+use cloud_sim::chaos::{ChaosConfig, ChaosWindow, ErrorBurst, EventDelay, EvictionProfile};
 use cloud_sim::cloud::{Cloud, CloudEvent};
 use cloud_sim::config::SimConfig;
 use cloud_sim::ids::{MarketId, Region, SpotRequestId};
 use cloud_sim::price::Price;
+use cloud_sim::time::{SimDuration, SimTime};
 use cloud_sim::trace::ShortageInterval;
 use proptest::prelude::*;
 
@@ -80,6 +82,108 @@ fn run(catalog: Catalog, seed: u64, threads: usize, ticks: u64) -> Fingerprint {
     }
 }
 
+/// A full-spectrum fault schedule aimed at `region`: an outage, a
+/// throttling storm, a transient-error burst, delayed event delivery,
+/// and capacity evictions, all inside a 120-tick (36 000 s) run.
+fn chaos_for(region: Region) -> ChaosConfig {
+    ChaosConfig {
+        outages: vec![ChaosWindow {
+            region,
+            start: SimTime::from_secs(3_000),
+            duration: SimDuration::from_secs(6_000),
+        }],
+        throttle_storms: vec![ChaosWindow {
+            region,
+            start: SimTime::from_secs(12_000),
+            duration: SimDuration::from_secs(3_000),
+        }],
+        error_bursts: vec![ErrorBurst {
+            window: ChaosWindow {
+                region,
+                start: SimTime::from_secs(18_000),
+                duration: SimDuration::from_secs(6_000),
+            },
+            fraction: 0.4,
+        }],
+        event_delay: Some(EventDelay {
+            probability: 0.3,
+            max_delay_ticks: 4,
+        }),
+        evictions: Some(EvictionProfile {
+            rate_per_market_day: 4.0,
+            notice_lead: SimDuration::minutes(10),
+            hold: SimDuration::hours(1),
+        }),
+    }
+}
+
+/// Like [`run`], but with chaos injected and a stream of on-demand
+/// probes aimed at `od_target` so the API-level fault schedule (outage,
+/// storm, burst) lands in the fingerprint as observed error codes.
+fn run_with_chaos(
+    catalog: Catalog,
+    seed: u64,
+    threads: usize,
+    ticks: u64,
+    chaos: &ChaosConfig,
+    od_target: MarketId,
+) -> Fingerprint {
+    let mut config = SimConfig::paper(seed);
+    config.record_all_prices = true;
+    config.threads = threads;
+    config.chaos = chaos.clone();
+    let markets: Vec<MarketId> = catalog.markets().to_vec();
+    let mut cloud = Cloud::new(catalog, config);
+
+    let mut events = Vec::new();
+    let mut submissions = Vec::new();
+    for t in 0..ticks {
+        cloud.tick();
+        events.extend(cloud.take_events());
+        if t % 2 == 0 {
+            match cloud.run_od_instance(od_target) {
+                Ok(id) => {
+                    let done = cloud
+                        .terminate_od_instance(id)
+                        .map(|c| c.to_string())
+                        .map_err(|e| e.error_code());
+                    submissions.push(format!("{t}:od:ok:{done:?}"));
+                }
+                Err(e) => submissions.push(format!("{t}:od:{}", e.error_code())),
+            }
+        }
+        if t % 5 == 0 {
+            let m = markets[(t as usize * 7) % markets.len()];
+            if let Some(p) = cloud.oracle_published_price(m) {
+                match cloud.request_spot_instance(m, p) {
+                    Ok(sub) => {
+                        submissions.push(format!("{t}:{}:{:?}", sub.id, sub.status));
+                        let _ = cloud.cancel_spot_request(sub.id);
+                    }
+                    Err(e) => submissions.push(format!("{t}:err:{}", e.error_code())),
+                }
+            }
+        }
+    }
+
+    Fingerprint {
+        events,
+        submissions,
+        prices: markets
+            .iter()
+            .map(|&m| {
+                (
+                    m,
+                    cloud.oracle_true_price(m).unwrap(),
+                    cloud.oracle_published_price(m).unwrap(),
+                )
+            })
+            .collect(),
+        ledger_total: cloud.ledger().total(),
+        shortages: cloud.trace().shortages().to_vec(),
+    }
+}
+
 /// A randomized multi-region catalog: `region_mask` picks a non-empty
 /// subset of the nine regions, each with `az_count` zones, over a small
 /// mixed (commodity + specialized) type set.
@@ -123,6 +227,37 @@ proptest! {
         prop_assert_eq!(&single, &four, "threads=4 diverged from threads=1");
         let three = run(catalog(), seed, 3, 120);
         prop_assert_eq!(&single, &three, "threads=3 diverged from threads=1");
+    }
+
+    // The chaos schedule is part of the determinism contract: the same
+    // seed and `ChaosConfig` must produce a bit-identical fault
+    // schedule (observed error codes, eviction notices, delayed event
+    // deliveries) and identical downstream state at any thread count.
+    #[test]
+    fn chaos_schedule_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        region_mask in 1u16..512,
+    ) {
+        let catalog = || build_catalog(region_mask, 2, 2);
+        let region = catalog().regions()[0];
+        let od_target = *catalog()
+            .markets()
+            .iter()
+            .find(|m| m.region() == region)
+            .expect("region has markets");
+        let chaos = chaos_for(region);
+        let single = run_with_chaos(catalog(), seed, 1, 120, &chaos, od_target);
+        let four = run_with_chaos(catalog(), seed, 4, 120, &chaos, od_target);
+        prop_assert_eq!(&single, &four, "chaos at threads=4 diverged from threads=1");
+        let again = run_with_chaos(catalog(), seed, 1, 120, &chaos, od_target);
+        prop_assert_eq!(&single, &again, "chaos replay must be exact");
+        // The schedule actually fired: the 6000-second outage covers
+        // on-demand probes of the target region, so its error code must
+        // appear in the fingerprint.
+        prop_assert!(
+            single.submissions.iter().any(|s| s.contains(":od:Unavailable")),
+            "expected the outage to surface in observed error codes"
+        );
     }
 
     // Same-thread-count replay is exact (the baseline determinism the
