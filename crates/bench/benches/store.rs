@@ -12,6 +12,8 @@ use spotlight_bench::{synthetic_probes, synthetic_store, synthetic_store_spaced}
 use spotlight_core::probe::ProbeKind;
 use spotlight_core::query::SpotLightQuery;
 use spotlight_core::store::{DataStore, StoreRead};
+use spotlight_core::{DurableOptions, FsyncPolicy};
+use spotlight_persist::tempdir::TempDir;
 use std::collections::HashMap;
 use std::hint::black_box;
 
@@ -145,6 +147,81 @@ fn bench_ingest_contended(c: &mut Criterion) {
     group.finish();
 }
 
+/// The contended ingest shape again, but appending through the durable
+/// write-ahead log with batched fsync — the acceptance gate holds its
+/// medians within 1.3× of `store_ingest_contended`.
+fn bench_ingest_durable(c: &mut Criterion) {
+    let probes = synthetic_probes(20_000);
+    let mut group = c.benchmark_group("store_ingest_durable");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(&threads.to_string(), |b| {
+            b.iter_batched(
+                // Store creation and teardown are setup, not ingest:
+                // the timed region is record_probe through flush. The
+                // store and tempdir ride along in the routine's return
+                // value so their drop (writer join, unlink) lands after
+                // the sample's clock stops.
+                || {
+                    let tmp = TempDir::new("bench-ingest");
+                    let store = DataStore::create_durable(
+                        &tmp.path().join("store"),
+                        DurableOptions {
+                            fsync: FsyncPolicy::Batch,
+                            queue_capacity: 4096,
+                        },
+                    )
+                    .expect("durable store");
+                    (probes.clone(), tmp, store)
+                },
+                |(probes, tmp, store)| {
+                    std::thread::scope(|scope| {
+                        for chunk in probes.chunks(probes.len().div_ceil(threads)) {
+                            let store = &store;
+                            scope.spawn(move || {
+                                for p in chunk {
+                                    black_box(store.record_probe(*p));
+                                }
+                            });
+                        }
+                    });
+                    store.flush().expect("flush");
+                    (store.len(), store, tmp)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Crash-recovery replay of a one-million-record log: each sample
+/// rebuilds the full store from the on-disk WAL written once in setup.
+fn bench_recover_1m(c: &mut Criterion) {
+    let tmp = TempDir::new("bench-recover");
+    let dir = tmp.path().join("store");
+    {
+        let store = DataStore::create_durable(
+            &dir,
+            DurableOptions {
+                fsync: FsyncPolicy::Never,
+                queue_capacity: 65_536,
+            },
+        )
+        .expect("durable store");
+        for p in synthetic_probes(1_000_000) {
+            store.record_probe(p);
+        }
+        store.flush().expect("flush");
+    }
+    let mut group = c.benchmark_group("recover_1m");
+    group.sample_size(10);
+    group.bench_function("replay", |b| {
+        b.iter(|| black_box(DataStore::recover(&dir).expect("recover").len()))
+    });
+    group.finish();
+}
+
 fn bench_queries(c: &mut Criterion) {
     let store = synthetic_store(100_000);
     let span_end = SimTime::from_secs(100_000 * 97 + 1);
@@ -226,6 +303,8 @@ criterion_group!(
     benches,
     bench_record_probe,
     bench_ingest_contended,
+    bench_ingest_durable,
+    bench_recover_1m,
     bench_queries,
     bench_window_sweep
 );

@@ -122,6 +122,14 @@ pub fn synthetic_store(n: u64) -> DataStore {
 /// Like [`synthetic_store`] with a chosen inter-record spacing.
 pub fn synthetic_store_spaced(n: u64, spacing: u64) -> DataStore {
     let store = DataStore::new();
+    feed_synthetic_spaced(&store, n, spacing);
+    store
+}
+
+/// Feeds the deterministic probe + spike stream into an existing store
+/// — lets the footprint bin drive a durable store with the exact input
+/// of [`synthetic_store_spaced`].
+pub fn feed_synthetic_spaced(store: &DataStore, n: u64, spacing: u64) {
     for (i, p) in synthetic_probes_spaced(n, spacing).into_iter().enumerate() {
         store.record_spike(SpikeEvent {
             market: p.market,
@@ -131,5 +139,4 @@ pub fn synthetic_store_spaced(n: u64, spacing: u64) -> DataStore {
         });
         store.record_probe(p);
     }
-    store
 }

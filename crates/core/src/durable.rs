@@ -1,0 +1,1222 @@
+//! Durable mode: the store-specific operation log, checkpoints, and
+//! crash recovery layered on `spotlight-persist`.
+//!
+//! # The operation log
+//!
+//! A durable [`DataStore`] owns a [`spotlight_persist::WalHandle`] with
+//! one log *stream per stripe* plus a meta stream (stream index =
+//! stripe count) for store-wide events. Every `record_*` call encodes a
+//! [`StoreOp`] and appends it **while holding the lock it mutated
+//! under** (the market's stripe lock; the region-health lock for
+//! breaker events), so each stream's frames are in exactly the order
+//! the in-memory state observed them. Suppressed-probe counts are the
+//! one lock-free path: their op carries the post-increment running
+//! total and replays via `fetch_max`, which is idempotent and
+//! order-insensitive, so no lock is needed.
+//!
+//! # Checkpoints and the sequence protocol
+//!
+//! Appends carry a global monotone sequence number assigned under the
+//! mutated lock. [`DataStore::checkpoint`] briefly acquires *every*
+//! stripe lock plus the region-health lock, captures the next unissued
+//! sequence number and the full store state, releases, rotates the WAL
+//! to a fresh generation, writes the checkpoint atomically
+//! (temp + fsync + rename + dir fsync), and only then deletes
+//! generations older than the one current during capture. Any op
+//! sequenced at or after the captured number post-dates the snapshot —
+//! wherever its frame landed — and is replayed; anything earlier is
+//! already inside it and is skipped. A crash at any point in that
+//! protocol leaves either the old checkpoint plus a full log, or the
+//! new checkpoint plus a log tail; both recover exactly.
+//!
+//! # Recovery
+//!
+//! [`DataStore::recover`] rebuilds the store: decode the last
+//! checkpoint (if any), then replay every surviving WAL generation in
+//! `(generation, stream)` order through the normal in-memory ingest
+//! paths, filtering each stream by a monotone per-stream sequence
+//! floor — which uniformly drops both checkpoint-covered frames and
+//! the duplicated-tail frames a retried append can leave behind. Frame
+//! scanning stops at the first torn, truncated, or corrupt frame, so a
+//! crash mid-write costs at most the unsynced tail. Recovery never
+//! appends to scanned files: it reopens the log at a fresh generation.
+
+use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger, UnavailabilityInterval};
+use crate::store::{
+    DataStore, EpochCell, EpochSeries, IntrinsicBidRecord, KeyState, ProbeStats, RegionHealth,
+    RevocationRecord, SpikeEvent, Stripe,
+};
+use cloud_sim::ids::Region;
+use cloud_sim::time::{SimDuration, SimTime};
+use spotlight_persist::log::LogDir;
+use spotlight_persist::wal::{WalConfig, WalHandle};
+use spotlight_persist::{Decode, DecodeError, Encode, Reader};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use spotlight_persist::FsyncPolicy;
+
+/// Tuning knobs for a durable store's writer.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// When the log writer fsyncs (default: once per drained batch).
+    pub fsync: FsyncPolicy,
+    /// Bounded depth of the append queue; ingest blocks (backpressure)
+    /// when the disk falls this far behind.
+    pub queue_capacity: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            fsync: FsyncPolicy::Batch,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// Counters describing a durable store's log activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Operations appended to the log.
+    pub appended_ops: u64,
+    /// Framed bytes appended to the log.
+    pub appended_bytes: u64,
+    /// Fsyncs issued by the writer.
+    pub fsyncs: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Raw records sealed into spill segments by compaction.
+    pub spilled_records: u64,
+    /// IO errors absorbed by the fire-and-forget append path.
+    pub io_errors: u64,
+    /// Description of the most recent IO error, if any.
+    pub last_error: Option<String>,
+}
+
+/// The durable half of a [`DataStore`]: directory, WAL, and counters.
+#[derive(Debug)]
+pub(crate) struct DurableSink {
+    pub(crate) dir: LogDir,
+    pub(crate) wal: WalHandle,
+    checkpoints: AtomicU64,
+    spilled_records: AtomicU64,
+    /// Generation the writer is currently appending to.
+    current_gen: AtomicU64,
+    /// Serializes checkpoints (capture + rotate + write must not
+    /// interleave between two callers).
+    ckpt_lock: crate::sync::Mutex<()>,
+    /// Errors from durable paths outside the WAL writer (spills).
+    io_errors: AtomicU64,
+    last_error: crate::sync::Mutex<Option<String>>,
+}
+
+impl DurableSink {
+    fn new(dir: LogDir, wal: WalHandle, current_gen: u64) -> DurableSink {
+        DurableSink {
+            dir,
+            wal,
+            checkpoints: AtomicU64::new(0),
+            spilled_records: AtomicU64::new(0),
+            current_gen: AtomicU64::new(current_gen),
+            ckpt_lock: crate::sync::Mutex::new(()),
+            io_errors: AtomicU64::new(0),
+            last_error: crate::sync::Mutex::new(None),
+        }
+    }
+
+    /// Appends one op to `stream`. Called with the mutated lock held so
+    /// the stream's frame order matches state order. Encodes into a
+    /// thread-local scratch buffer: this is the per-record hot path and
+    /// must not allocate.
+    pub(crate) fn append(&self, stream: u32, op: &StoreOp) {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            op.encode(&mut buf);
+            self.wal.append(stream, &buf);
+        });
+    }
+
+    fn note_error(&self, what: &str, err: &io::Error) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock() = Some(format!("{what}: {err}"));
+    }
+}
+
+/// One logged store mutation. The match in `encode` is exhaustive over
+/// the record types, so a new persisted record type cannot compile
+/// without a wire representation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum StoreOp {
+    /// A probe observation (`record_probe`).
+    Probe(ProbeRecord),
+    /// A spike observation (`record_spike`).
+    Spike(SpikeEvent),
+    /// A revocation-watch observation (`record_revocation`).
+    Revocation(RevocationRecord),
+    /// An intrinsic-bid measurement (`record_intrinsic_bid`).
+    IntrinsicBid(IntrinsicBidRecord),
+    /// The suppressed-probe running total after an increment.
+    Suppressed {
+        /// Post-increment value of the suppressed counter.
+        total: u64,
+    },
+    /// A circuit breaker tripped for `region` at `at`.
+    RegionDegraded {
+        /// The degraded region.
+        region: Region,
+        /// When the episode began.
+        at: SimTime,
+    },
+    /// A circuit breaker closed for `region` at `at`.
+    RegionRecovered {
+        /// The recovered region.
+        region: Region,
+        /// When the episode ended.
+        at: SimTime,
+    },
+}
+
+impl Encode for StoreOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StoreOp::Probe(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            StoreOp::Spike(s) => {
+                out.push(1);
+                s.encode(out);
+            }
+            StoreOp::Revocation(r) => {
+                out.push(2);
+                r.encode(out);
+            }
+            StoreOp::IntrinsicBid(b) => {
+                out.push(3);
+                b.encode(out);
+            }
+            StoreOp::Suppressed { total } => {
+                out.push(4);
+                total.encode(out);
+            }
+            StoreOp::RegionDegraded { region, at } => {
+                out.push(5);
+                region.encode(out);
+                at.encode(out);
+            }
+            StoreOp::RegionRecovered { region, at } => {
+                out.push(6);
+                region.encode(out);
+                at.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for StoreOp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => StoreOp::Probe(ProbeRecord::decode(r)?),
+            1 => StoreOp::Spike(SpikeEvent::decode(r)?),
+            2 => StoreOp::Revocation(RevocationRecord::decode(r)?),
+            3 => StoreOp::IntrinsicBid(IntrinsicBidRecord::decode(r)?),
+            4 => StoreOp::Suppressed {
+                total: u64::decode(r)?,
+            },
+            5 => StoreOp::RegionDegraded {
+                region: Region::decode(r)?,
+                at: SimTime::decode(r)?,
+            },
+            6 => StoreOp::RegionRecovered {
+                region: Region::decode(r)?,
+                at: SimTime::decode(r)?,
+            },
+            _ => return Err(DecodeError::Invalid("store op tag")),
+        })
+    }
+}
+
+impl Encode for ProbeKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Exhaustive: a new kind cannot silently skip persistence.
+        out.push(match self {
+            ProbeKind::OnDemand => 0,
+            ProbeKind::Spot => 1,
+            ProbeKind::InterruptionNotice => 2,
+        });
+    }
+}
+
+impl Decode for ProbeKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => ProbeKind::OnDemand,
+            1 => ProbeKind::Spot,
+            2 => ProbeKind::InterruptionNotice,
+            _ => return Err(DecodeError::Invalid("probe kind tag")),
+        })
+    }
+}
+
+impl Encode for ProbeOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ProbeOutcome::Fulfilled => 0,
+            ProbeOutcome::InsufficientCapacity => 1,
+            ProbeOutcome::CapacityNotAvailable => 2,
+            ProbeOutcome::PriceTooLow => 3,
+            ProbeOutcome::CapacityOversubscribed => 4,
+            ProbeOutcome::ApiLimited => 5,
+        });
+    }
+}
+
+impl Decode for ProbeOutcome {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => ProbeOutcome::Fulfilled,
+            1 => ProbeOutcome::InsufficientCapacity,
+            2 => ProbeOutcome::CapacityNotAvailable,
+            3 => ProbeOutcome::PriceTooLow,
+            4 => ProbeOutcome::CapacityOversubscribed,
+            5 => ProbeOutcome::ApiLimited,
+            _ => return Err(DecodeError::Invalid("probe outcome tag")),
+        })
+    }
+}
+
+impl Encode for ProbeTrigger {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ProbeTrigger::PriceSpike { ratio } => {
+                out.push(0);
+                ratio.encode(out);
+            }
+            ProbeTrigger::FamilyFanout {
+                origin,
+                origin_ratio,
+            } => {
+                out.push(1);
+                origin.encode(out);
+                origin_ratio.encode(out);
+            }
+            ProbeTrigger::CrossAzFanout {
+                origin,
+                origin_ratio,
+            } => {
+                out.push(2);
+                origin.encode(out);
+                origin_ratio.encode(out);
+            }
+            ProbeTrigger::Recovery => out.push(3),
+            ProbeTrigger::Periodic => out.push(4),
+            ProbeTrigger::CrossVerify { origin } => {
+                out.push(5);
+                origin.encode(out);
+            }
+            ProbeTrigger::BidSearch => out.push(6),
+            ProbeTrigger::RevocationWatch => out.push(7),
+            ProbeTrigger::EvictionNotice { evict_at } => {
+                out.push(8);
+                evict_at.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ProbeTrigger {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => ProbeTrigger::PriceSpike {
+                ratio: f64::decode(r)?,
+            },
+            1 => ProbeTrigger::FamilyFanout {
+                origin: Decode::decode(r)?,
+                origin_ratio: f64::decode(r)?,
+            },
+            2 => ProbeTrigger::CrossAzFanout {
+                origin: Decode::decode(r)?,
+                origin_ratio: f64::decode(r)?,
+            },
+            3 => ProbeTrigger::Recovery,
+            4 => ProbeTrigger::Periodic,
+            5 => ProbeTrigger::CrossVerify {
+                origin: Decode::decode(r)?,
+            },
+            6 => ProbeTrigger::BidSearch,
+            7 => ProbeTrigger::RevocationWatch,
+            8 => ProbeTrigger::EvictionNotice {
+                evict_at: SimTime::decode(r)?,
+            },
+            _ => return Err(DecodeError::Invalid("probe trigger tag")),
+        })
+    }
+}
+
+impl Encode for ProbeRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.market.encode(out);
+        self.kind.encode(out);
+        self.trigger.encode(out);
+        self.outcome.encode(out);
+        self.spot_ratio.encode(out);
+        self.bid.encode(out);
+        self.cost.encode(out);
+    }
+}
+
+impl Decode for ProbeRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ProbeRecord {
+            at: Decode::decode(r)?,
+            market: Decode::decode(r)?,
+            kind: Decode::decode(r)?,
+            trigger: Decode::decode(r)?,
+            outcome: Decode::decode(r)?,
+            spot_ratio: Decode::decode(r)?,
+            bid: Decode::decode(r)?,
+            cost: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SpikeEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.market.encode(out);
+        self.at.encode(out);
+        self.ratio.encode(out);
+        self.probed.encode(out);
+    }
+}
+
+impl Decode for SpikeEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SpikeEvent {
+            market: Decode::decode(r)?,
+            at: Decode::decode(r)?,
+            ratio: Decode::decode(r)?,
+            probed: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RevocationRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.market.encode(out);
+        self.acquired_at.encode(out);
+        self.bid.encode(out);
+        self.revoked_at.encode(out);
+        self.released_at.encode(out);
+    }
+}
+
+impl Decode for RevocationRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(RevocationRecord {
+            market: Decode::decode(r)?,
+            acquired_at: Decode::decode(r)?,
+            bid: Decode::decode(r)?,
+            revoked_at: Decode::decode(r)?,
+            released_at: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for IntrinsicBidRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.market.encode(out);
+        self.at.encode(out);
+        self.published.encode(out);
+        self.intrinsic.encode(out);
+        self.attempts.encode(out);
+    }
+}
+
+impl Decode for IntrinsicBidRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(IntrinsicBidRecord {
+            market: Decode::decode(r)?,
+            at: Decode::decode(r)?,
+            published: Decode::decode(r)?,
+            intrinsic: Decode::decode(r)?,
+            attempts: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for UnavailabilityInterval {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.market.encode(out);
+        self.kind.encode(out);
+        self.start.encode(out);
+        self.end.encode(out);
+        self.detect_ratio.encode(out);
+        self.detected_via_related.encode(out);
+    }
+}
+
+impl Decode for UnavailabilityInterval {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(UnavailabilityInterval {
+            market: Decode::decode(r)?,
+            kind: Decode::decode(r)?,
+            start: Decode::decode(r)?,
+            end: Decode::decode(r)?,
+            detect_ratio: Decode::decode(r)?,
+            detected_via_related: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RegionHealth {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.degraded.encode(out);
+        self.since.encode(out);
+        self.degraded_secs.encode(out);
+        self.trips.encode(out);
+    }
+}
+
+impl Decode for RegionHealth {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(RegionHealth {
+            degraded: Decode::decode(r)?,
+            since: Decode::decode(r)?,
+            degraded_secs: Decode::decode(r)?,
+            trips: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ProbeStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.informative.encode(out);
+        self.rejections.encode(out);
+    }
+}
+
+impl Decode for ProbeStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ProbeStats {
+            informative: Decode::decode(r)?,
+            rejections: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EpochCell {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.informative.encode(out);
+        self.rejections.encode(out);
+        self.unavail_secs.encode(out);
+    }
+}
+
+impl Decode for EpochCell {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EpochCell {
+            informative: Decode::decode(r)?,
+            rejections: Decode::decode(r)?,
+            unavail_secs: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EpochSeries {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.first.encode(out);
+        self.cells.encode(out);
+    }
+}
+
+impl Decode for EpochSeries {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EpochSeries {
+            first: Decode::decode(r)?,
+            cells: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for KeyState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.stats.encode(out);
+        self.intervals.encode(out);
+        self.open.encode(out);
+        self.closed_intervals.encode(out);
+        self.rejection_times.encode(out);
+        self.last_informative.encode(out);
+        self.epochs.encode(out);
+        self.disordered.encode(out);
+    }
+}
+
+impl Decode for KeyState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(KeyState {
+            stats: Decode::decode(r)?,
+            intervals: Decode::decode(r)?,
+            open: Decode::decode(r)?,
+            closed_intervals: Decode::decode(r)?,
+            rejection_times: Decode::decode(r)?,
+            last_informative: Decode::decode(r)?,
+            epochs: Decode::decode(r)?,
+            disordered: Decode::decode(r)?,
+        })
+    }
+}
+
+fn encode_map<K: Encode, V: Encode, S: BuildHasher>(map: &HashMap<K, V, S>, out: &mut Vec<u8>) {
+    map.len().encode(out);
+    for (k, v) in map {
+        k.encode(out);
+        v.encode(out);
+    }
+}
+
+fn decode_map<K, V, S>(r: &mut Reader<'_>) -> Result<HashMap<K, V, S>, DecodeError>
+where
+    K: Decode + Eq + Hash,
+    V: Decode,
+    S: BuildHasher + Default,
+{
+    let len = usize::decode(r)?;
+    if len > r.remaining() {
+        return Err(DecodeError::Invalid("map length"));
+    }
+    let mut map = HashMap::with_capacity_and_hasher(len, S::default());
+    for _ in 0..len {
+        let k = K::decode(r)?;
+        let v = V::decode(r)?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+impl Encode for Stripe {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.probes.encode(out);
+        encode_map(&self.probes_by_market, out);
+        self.spikes.encode(out);
+        encode_map(&self.spike_ratios_by_epoch, out);
+        self.intervals.encode(out);
+        encode_map(&self.keys, out);
+        encode_map(&self.od_rejections_by_region, out);
+        self.revocations.encode(out);
+        encode_map(&self.revocations_by_market, out);
+        self.intrinsic_bids.encode(out);
+    }
+}
+
+impl Decode for Stripe {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Stripe {
+            probes: Decode::decode(r)?,
+            probes_by_market: decode_map(r)?,
+            spikes: Decode::decode(r)?,
+            spike_ratios_by_epoch: decode_map(r)?,
+            intervals: Decode::decode(r)?,
+            keys: decode_map(r)?,
+            od_rejections_by_region: decode_map(r)?,
+            revocations: Decode::decode(r)?,
+            revocations_by_market: decode_map(r)?,
+            intrinsic_bids: Decode::decode(r)?,
+        })
+    }
+}
+
+fn bad_data(err: DecodeError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+fn corrupt(what: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+/// Seals every raw record older than `before` in `stripe` into a spill
+/// segment. Returns `false` — telling the caller to *keep* the raw
+/// slabs — if the segment could not be written; spill-then-drop is the
+/// no-data-loss invariant of durable compaction.
+pub(crate) fn spill_stripe(
+    sink: &DurableSink,
+    idx: usize,
+    stripe: &Stripe,
+    before: SimTime,
+) -> bool {
+    let mut records: Vec<Vec<u8>> = Vec::new();
+    for p in &stripe.probes {
+        if p.at < before {
+            records.push(StoreOp::Probe(*p).to_bytes());
+        }
+    }
+    for s in &stripe.spikes {
+        if s.at < before {
+            records.push(StoreOp::Spike(*s).to_bytes());
+        }
+    }
+    if records.is_empty() {
+        return true;
+    }
+    match sink.dir.write_spill(idx as u32, &records) {
+        Ok(_) => {
+            sink.spilled_records
+                .fetch_add(records.len() as u64, Ordering::Relaxed);
+            true
+        }
+        Err(err) => {
+            sink.note_error("spill", &err);
+            false
+        }
+    }
+}
+
+impl DataStore {
+    /// Stream index carrying store-wide (non-stripe) ops.
+    pub(crate) fn meta_stream(&self) -> u32 {
+        self.stripes.len() as u32
+    }
+
+    /// Creates an empty **durable** store rooted at `dir`, with the
+    /// default layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` cannot be initialized (or already holds a store).
+    pub fn create_durable(dir: &Path, opts: DurableOptions) -> io::Result<DataStore> {
+        DataStore::create_durable_with_layout(
+            dir,
+            opts,
+            crate::store::DEFAULT_STRIPES,
+            crate::store::DEFAULT_EPOCH,
+        )
+    }
+
+    /// Creates an empty durable store with an explicit layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` cannot be initialized (or already holds a store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` is zero or `epoch` is zero-length, like
+    /// [`DataStore::with_layout`].
+    pub fn create_durable_with_layout(
+        dir: &Path,
+        opts: DurableOptions,
+        stripes: usize,
+        epoch: SimDuration,
+    ) -> io::Result<DataStore> {
+        let mut store = DataStore::with_layout(stripes, epoch);
+        let mut app_meta = Vec::new();
+        (stripes as u32).encode(&mut app_meta);
+        epoch.as_secs().encode(&mut app_meta);
+        let log = LogDir::create(dir, stripes as u32 + 1, &app_meta)?;
+        let wal = WalHandle::open(
+            &log,
+            WalConfig {
+                streams: stripes as u32 + 1,
+                fsync: opts.fsync,
+                queue_capacity: opts.queue_capacity,
+            },
+            0,
+            0,
+        )?;
+        store.durable = Some(DurableSink::new(log, wal, 0));
+        Ok(store)
+    }
+
+    /// Rebuilds a store from `dir`: last checkpoint plus the surviving
+    /// log tail, with default writer options for the reopened log.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors, a damaged header/checkpoint, or an
+    /// undecodable op (all meaning something other than a crash-torn
+    /// tail happened to the directory).
+    pub fn recover(dir: &Path) -> io::Result<DataStore> {
+        DataStore::recover_with(dir, DurableOptions::default())
+    }
+
+    /// [`DataStore::recover`] with explicit writer options.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataStore::recover`].
+    pub fn recover_with(dir: &Path, opts: DurableOptions) -> io::Result<DataStore> {
+        let (log, dir_meta) = LogDir::open(dir)?;
+        let mut mr = Reader::new(&dir_meta.app_meta);
+        let stripes = u32::decode(&mut mr).map_err(bad_data)? as usize;
+        let epoch_secs = u64::decode(&mut mr).map_err(bad_data)?;
+        mr.expect_empty().map_err(bad_data)?;
+        if dir_meta.streams != stripes as u32 + 1 || stripes == 0 || epoch_secs == 0 {
+            return Err(corrupt("header layout mismatch"));
+        }
+        let mut store = DataStore::with_layout(stripes, SimDuration::from_secs(epoch_secs));
+
+        // 1. The checkpoint, if one was ever completed.
+        let mut next_seq = 0u64;
+        let mut min_gen = 0u64;
+        if let Some(sections) = log.read_checkpoint()? {
+            if sections.len() != stripes + 1 {
+                return Err(corrupt("checkpoint section count mismatch"));
+            }
+            let mut r = Reader::new(&sections[0]);
+            let recorded = u64::decode(&mut r).map_err(bad_data)?;
+            let cost = u64::decode(&mut r).map_err(bad_data)?;
+            let suppressed = u64::decode(&mut r).map_err(bad_data)?;
+            next_seq = u64::decode(&mut r).map_err(bad_data)?;
+            min_gen = u64::decode(&mut r).map_err(bad_data)?;
+            let health: HashMap<Region, RegionHealth> = decode_map(&mut r).map_err(bad_data)?;
+            r.expect_empty().map_err(bad_data)?;
+            store.recorded_probes.store(recorded, Ordering::Relaxed);
+            store.total_cost_micros.store(cost, Ordering::Relaxed);
+            store.suppressed_probes.store(suppressed, Ordering::Relaxed);
+            *store.region_health.write() = health;
+            for (i, section) in sections[1..].iter().enumerate() {
+                *store.stripes[i].write() = Stripe::from_bytes(section).map_err(bad_data)?;
+            }
+        }
+
+        // 2. Replay the log tail. Per-stream monotone sequence floors
+        // drop checkpoint-covered frames and retried-append duplicates
+        // alike; the frame scanner already trimmed torn tails.
+        let mut floor = vec![next_seq; stripes + 1];
+        let mut max_gen = min_gen;
+        let mut max_seq = next_seq;
+        for (generation, stream) in log.list_wal()? {
+            max_gen = max_gen.max(generation);
+            if generation < min_gen || stream as usize > stripes {
+                continue;
+            }
+            let scanned = log.read_wal(generation, stream)?;
+            for frame in scanned.frames {
+                max_seq = max_seq.max(frame.seq + 1);
+                let op = StoreOp::from_bytes(&frame.body).map_err(bad_data)?;
+                if let StoreOp::Suppressed { total } = op {
+                    // Monotone and idempotent: applied regardless of the
+                    // sequence floor, which makes the lock-free
+                    // suppressed path correct under any interleaving
+                    // with a concurrent checkpoint.
+                    store.suppressed_probes.fetch_max(total, Ordering::Relaxed);
+                    continue;
+                }
+                if frame.seq < floor[stream as usize] {
+                    continue;
+                }
+                floor[stream as usize] = frame.seq + 1;
+                store.apply(op);
+            }
+        }
+
+        // 3. Never append after a possibly-torn tail: reopen the log at
+        // a fresh generation.
+        let new_gen = max_gen + 1;
+        let wal = WalHandle::open(
+            &log,
+            WalConfig {
+                streams: stripes as u32 + 1,
+                fsync: opts.fsync,
+                queue_capacity: opts.queue_capacity,
+            },
+            new_gen,
+            max_seq,
+        )?;
+        store.durable = Some(DurableSink::new(log, wal, new_gen));
+        Ok(store)
+    }
+
+    /// Applies a replayed op through the normal in-memory ingest paths
+    /// (`durable` is still unset during replay, so nothing re-logs).
+    fn apply(&self, op: StoreOp) {
+        match op {
+            StoreOp::Probe(p) => {
+                self.record_probe(p);
+            }
+            StoreOp::Spike(s) => self.record_spike(s),
+            StoreOp::Revocation(r) => self.record_revocation(r),
+            StoreOp::IntrinsicBid(b) => self.record_intrinsic_bid(b),
+            StoreOp::Suppressed { total } => {
+                self.suppressed_probes.fetch_max(total, Ordering::Relaxed);
+            }
+            StoreOp::RegionDegraded { region, at } => self.mark_region_degraded(region, at),
+            StoreOp::RegionRecovered { region, at } => self.mark_region_recovered(region, at),
+        }
+    }
+
+    /// Whether this store persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Forces everything appended so far onto disk. A no-op `Ok` for
+    /// in-memory stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first IO error the log writer hit since the last
+    /// flush.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.durable {
+            Some(d) => d.wal.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes a full-state checkpoint and prunes the log behind it.
+    /// Recovery cost is then one checkpoint load plus the tail since.
+    ///
+    /// Checkpointing briefly blocks all ingest (it takes every stripe
+    /// lock to capture a consistent snapshot). It is caller-driven —
+    /// there is no automatic trigger — so ingest paths can never
+    /// self-deadlock against it.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` for in-memory stores; otherwise filesystem errors.
+    /// On error the previous checkpoint and the full log remain, so the
+    /// store stays recoverable.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "checkpoint on an in-memory store",
+            ));
+        };
+        let _ckpt = d.ckpt_lock.lock();
+        let mut sections = Vec::with_capacity(self.stripes.len() + 1);
+        let capture_gen;
+        {
+            // Capture under every lock: ops sequenced before `next_seq`
+            // are inside this snapshot, everything at or after it is
+            // replayed on recovery.
+            let guards: Vec<_> = self.stripes.iter().map(|s| s.write()).collect();
+            let health = self.region_health.write();
+            let next_seq = d.wal.next_seq();
+            capture_gen = d.current_gen.load(Ordering::Relaxed);
+            let mut meta = Vec::new();
+            self.recorded_probes
+                .load(Ordering::Relaxed)
+                .encode(&mut meta);
+            self.total_cost_micros
+                .load(Ordering::Relaxed)
+                .encode(&mut meta);
+            self.suppressed_probes
+                .load(Ordering::Relaxed)
+                .encode(&mut meta);
+            next_seq.encode(&mut meta);
+            capture_gen.encode(&mut meta);
+            encode_map(&health, &mut meta);
+            sections.push(meta);
+            for guard in &guards {
+                sections.push(guard.to_bytes());
+            }
+        }
+        // Rotate first: generations before `capture_gen` then hold only
+        // checkpoint-covered sequence numbers and can be deleted once
+        // the checkpoint is durable.
+        let new_gen = d.wal.rotate()?;
+        d.current_gen.store(new_gen, Ordering::Relaxed);
+        d.dir.write_checkpoint(&sections)?;
+        d.dir.delete_wal_before(capture_gen)?;
+        d.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Log/checkpoint/spill counters; `None` for in-memory stores.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        let d = self.durable.as_ref()?;
+        let ws = d.wal.stats();
+        let last_error = d
+            .last_error
+            .lock()
+            .clone()
+            .or_else(|| ws.last_error.lock().expect("stats lock").clone());
+        Some(DurabilityStats {
+            appended_ops: ws.appended_ops.load(Ordering::Relaxed),
+            appended_bytes: ws.appended_bytes.load(Ordering::Relaxed),
+            fsyncs: ws.fsyncs.load(Ordering::Relaxed),
+            checkpoints: d.checkpoints.load(Ordering::Relaxed),
+            spilled_records: d.spilled_records.load(Ordering::Relaxed),
+            io_errors: ws.io_errors.load(Ordering::Relaxed) + d.io_errors.load(Ordering::Relaxed),
+            last_error,
+        })
+    }
+
+    /// Total on-disk bytes of the store directory (WAL + checkpoint +
+    /// spill segments); `None` for in-memory stores or on a read error.
+    pub fn disk_bytes(&self) -> Option<u64> {
+        self.durable.as_ref().and_then(|d| d.dir.disk_bytes().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeOutcome;
+    use cloud_sim::ids::{Az, MarketId, Platform};
+    use cloud_sim::price::Price;
+    use spotlight_persist::tempdir::TempDir;
+
+    fn market(i: u8) -> MarketId {
+        MarketId {
+            az: Az::new(Region::UsEast1, i % 3),
+            instance_type: "c3.large".parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        }
+    }
+
+    fn probe(at: u64, m: MarketId, outcome: ProbeOutcome) -> ProbeRecord {
+        ProbeRecord {
+            at: SimTime::from_secs(at),
+            market: m,
+            kind: ProbeKind::OnDemand,
+            trigger: ProbeTrigger::PriceSpike { ratio: 2.0 },
+            outcome,
+            spot_ratio: 2.0,
+            bid: None,
+            cost: Price::from_dollars(0.1),
+        }
+    }
+
+    fn op_round_trip(op: StoreOp) {
+        let bytes = op.to_bytes();
+        assert_eq!(StoreOp::from_bytes(&bytes).expect("decode"), op);
+    }
+
+    /// Satellite: every `ProbeKind` and `ProbeTrigger` variant
+    /// round-trips, with the variant lists produced by compile-time
+    /// exhaustive matches — adding a variant upstream breaks this
+    /// build, not just coverage.
+    #[test]
+    fn probe_kind_and_trigger_every_variant_round_trips() {
+        let all_kinds: Vec<ProbeKind> = match ProbeKind::OnDemand {
+            ProbeKind::OnDemand | ProbeKind::Spot | ProbeKind::InterruptionNotice => vec![
+                ProbeKind::OnDemand,
+                ProbeKind::Spot,
+                ProbeKind::InterruptionNotice,
+            ],
+        };
+        assert_eq!(all_kinds.len(), 3);
+        let all_triggers: Vec<ProbeTrigger> = match ProbeTrigger::Recovery {
+            ProbeTrigger::PriceSpike { .. }
+            | ProbeTrigger::FamilyFanout { .. }
+            | ProbeTrigger::CrossAzFanout { .. }
+            | ProbeTrigger::Recovery
+            | ProbeTrigger::Periodic
+            | ProbeTrigger::CrossVerify { .. }
+            | ProbeTrigger::BidSearch
+            | ProbeTrigger::RevocationWatch
+            | ProbeTrigger::EvictionNotice { .. } => vec![
+                ProbeTrigger::PriceSpike { ratio: 2.5 },
+                ProbeTrigger::FamilyFanout {
+                    origin: market(0),
+                    origin_ratio: 3.0,
+                },
+                ProbeTrigger::CrossAzFanout {
+                    origin: market(1),
+                    origin_ratio: 1.5,
+                },
+                ProbeTrigger::Recovery,
+                ProbeTrigger::Periodic,
+                ProbeTrigger::CrossVerify { origin: market(2) },
+                ProbeTrigger::BidSearch,
+                ProbeTrigger::RevocationWatch,
+                ProbeTrigger::EvictionNotice {
+                    evict_at: SimTime::from_secs(7200),
+                },
+            ],
+        };
+        assert_eq!(all_triggers.len(), 9);
+        let all_outcomes: Vec<ProbeOutcome> = match ProbeOutcome::Fulfilled {
+            ProbeOutcome::Fulfilled
+            | ProbeOutcome::InsufficientCapacity
+            | ProbeOutcome::CapacityNotAvailable
+            | ProbeOutcome::PriceTooLow
+            | ProbeOutcome::CapacityOversubscribed
+            | ProbeOutcome::ApiLimited => vec![
+                ProbeOutcome::Fulfilled,
+                ProbeOutcome::InsufficientCapacity,
+                ProbeOutcome::CapacityNotAvailable,
+                ProbeOutcome::PriceTooLow,
+                ProbeOutcome::CapacityOversubscribed,
+                ProbeOutcome::ApiLimited,
+            ],
+        };
+        for kind in &all_kinds {
+            for trigger in &all_triggers {
+                for outcome in &all_outcomes {
+                    let mut p = probe(1234, market(0), *outcome);
+                    p.kind = *kind;
+                    p.trigger = *trigger;
+                    p.bid = Some(Price::from_dollars(0.07));
+                    op_round_trip(StoreOp::Probe(p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_op_non_probe_variants_round_trip() {
+        op_round_trip(StoreOp::Spike(SpikeEvent {
+            market: market(0),
+            at: SimTime::from_secs(42),
+            ratio: 3.25,
+            probed: false,
+        }));
+        op_round_trip(StoreOp::Revocation(RevocationRecord {
+            market: market(1),
+            acquired_at: SimTime::from_secs(100),
+            bid: Price::from_dollars(0.2),
+            revoked_at: Some(SimTime::from_secs(900)),
+            released_at: Some(SimTime::from_secs(900)),
+        }));
+        op_round_trip(StoreOp::IntrinsicBid(IntrinsicBidRecord {
+            market: market(2),
+            at: SimTime::from_secs(55),
+            published: Price::from_dollars(0.1),
+            intrinsic: Price::from_dollars(0.04),
+            attempts: 3,
+        }));
+        op_round_trip(StoreOp::Suppressed { total: 17 });
+        op_round_trip(StoreOp::RegionDegraded {
+            region: Region::EuWest1,
+            at: SimTime::from_secs(5),
+        });
+        op_round_trip(StoreOp::RegionRecovered {
+            region: Region::EuWest1,
+            at: SimTime::from_secs(65),
+        });
+    }
+
+    #[test]
+    fn durable_ingest_recovers_identically() {
+        let tmp = TempDir::new("durable-roundtrip");
+        let dir = tmp.path().join("store");
+        {
+            let store = DataStore::create_durable(&dir, DurableOptions::default()).expect("create");
+            for t in 0..50u64 {
+                let outcome = if t % 7 == 0 {
+                    ProbeOutcome::InsufficientCapacity
+                } else {
+                    ProbeOutcome::Fulfilled
+                };
+                store.record_probe(probe(t * 60, market((t % 5) as u8), outcome));
+            }
+            store.record_spike(SpikeEvent {
+                market: market(0),
+                at: SimTime::from_secs(30),
+                ratio: 4.0,
+                probed: true,
+            });
+            store.record_suppressed();
+            store.record_suppressed();
+            store.mark_region_degraded(Region::EuWest1, SimTime::from_secs(10));
+            store.mark_region_recovered(Region::EuWest1, SimTime::from_secs(400));
+            store.record_revocation(RevocationRecord {
+                market: market(1),
+                acquired_at: SimTime::from_secs(5),
+                bid: Price::from_dollars(0.3),
+                revoked_at: None,
+                released_at: Some(SimTime::from_secs(3600)),
+            });
+            store.record_intrinsic_bid(IntrinsicBidRecord {
+                market: market(2),
+                at: SimTime::from_secs(80),
+                published: Price::from_dollars(0.09),
+                intrinsic: Price::from_dollars(0.05),
+                attempts: 2,
+            });
+            assert!(store.is_durable());
+            let stats = store.durability_stats().expect("stats");
+            assert_eq!(stats.appended_ops, 50 + 1 + 2 + 2 + 1 + 1);
+            assert_eq!(stats.io_errors, 0);
+        } // drop flushes and joins the writer
+
+        let recovered = DataStore::recover(&dir).expect("recover");
+        assert_eq!(recovered.len(), 50);
+        assert_eq!(recovered.total_cost(), Price::from_dollars(5.0));
+        assert_eq!(recovered.suppressed_probes(), 2);
+        let health = recovered.region_health(Region::EuWest1).expect("health");
+        assert_eq!(health.degraded_secs, 390);
+        let r = recovered.read();
+        assert_eq!(r.probes().count(), 50);
+        assert_eq!(r.spikes_at_or_above(3.0), 1);
+        assert_eq!(r.revocations().count(), 1);
+        assert_eq!(r.intrinsic_bids().count(), 1);
+        for i in 0..5u8 {
+            assert!(r.probe_stats(market(i), ProbeKind::OnDemand).informative > 0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_prunes_log_and_recovery_replays_tail() {
+        let tmp = TempDir::new("durable-ckpt");
+        let dir = tmp.path().join("store");
+        {
+            let store = DataStore::create_durable(&dir, DurableOptions::default()).expect("create");
+            for t in 0..30u64 {
+                store.record_probe(probe(t * 60, market(0), ProbeOutcome::Fulfilled));
+            }
+            store.checkpoint().expect("checkpoint");
+            for t in 30..40u64 {
+                store.record_probe(probe(t * 60, market(1), ProbeOutcome::InsufficientCapacity));
+            }
+            assert_eq!(store.durability_stats().expect("stats").checkpoints, 1);
+        }
+        let recovered = DataStore::recover(&dir).expect("recover");
+        assert_eq!(recovered.len(), 40);
+        let r = recovered.read();
+        assert_eq!(r.probes_of(market(0)).count(), 30);
+        assert_eq!(r.probes_of(market(1)).count(), 10);
+        assert!(r.is_unavailable(market(1), ProbeKind::OnDemand));
+        // A second recovery of the recovered directory still agrees.
+        drop(r);
+        drop(recovered);
+        let again = DataStore::recover(&dir).expect("recover again");
+        assert_eq!(again.len(), 40);
+    }
+
+    #[test]
+    fn durable_compaction_spills_before_dropping() {
+        let tmp = TempDir::new("durable-spill");
+        let dir = tmp.path().join("store");
+        let store = DataStore::create_durable(&dir, DurableOptions::default()).expect("create");
+        for t in 0..100u64 {
+            store.record_probe(probe(
+                t * 100,
+                market((t % 4) as u8),
+                ProbeOutcome::Fulfilled,
+            ));
+        }
+        let stats = store.compact(SimTime::from_secs(5000));
+        assert!(stats.dropped_probes > 0);
+        let dstats = store.durability_stats().expect("stats");
+        assert_eq!(dstats.spilled_records, stats.dropped_probes);
+        assert_eq!(dstats.io_errors, 0);
+        assert!(store.disk_bytes().expect("disk bytes") > 0);
+    }
+
+    #[test]
+    fn checkpoint_on_in_memory_store_is_unsupported() {
+        let store = DataStore::new();
+        assert!(!store.is_durable());
+        assert!(store.flush().is_ok());
+        assert_eq!(store.durability_stats(), None);
+        assert_eq!(store.disk_bytes(), None);
+        assert_eq!(
+            store.checkpoint().expect_err("must fail").kind(),
+            io::ErrorKind::Unsupported
+        );
+    }
+}

@@ -60,6 +60,7 @@
 pub mod analysis;
 pub mod bidspread;
 pub mod budget;
+pub mod durable;
 pub mod manager;
 pub mod policy;
 pub mod probe;
@@ -69,6 +70,7 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 
+pub use durable::{DurabilityStats, DurableOptions, FsyncPolicy};
 pub use manager::{LiveConfig, LiveReport, ResilienceConfig};
 pub use policy::{PolicyConfig, SpotLightConfig};
 pub use probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};

@@ -179,6 +179,14 @@ pub struct LiveReport {
     /// Seconds each region spent with its breaker open or half-open
     /// (only regions that degraded at all appear).
     pub degraded_secs: HashMap<Region, u64>,
+    /// Operations this run appended to the store's durable log (zero
+    /// for an in-memory store).
+    pub durable_ops: u64,
+    /// Framed bytes this run appended to the durable log.
+    pub durable_bytes: u64,
+    /// Fsyncs the durable log's writer issued during this run,
+    /// including the final end-of-run flush.
+    pub durable_fsyncs: u64,
 }
 
 enum RegionMsg {
@@ -626,6 +634,7 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     let catalog = cloud.catalog().clone();
     // The report counts THIS run's probes even on a pre-populated store.
     let probes_at_start = store.len();
+    let durable_at_start = store.durability_stats();
     let shared: SharedCloud = Arc::new(Mutex::new(cloud));
 
     // Region managers, writing straight into the striped store.
@@ -716,6 +725,21 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     }
     let probes = store.len() - probes_at_start;
 
+    // Make the run durable before reporting: everything the workers
+    // appended is on disk when this returns. An in-memory store's
+    // flush is a no-op; a failing disk surfaces through
+    // `durability_stats`, not a panic mid-report.
+    let _ = store.flush();
+    let (durable_ops, durable_bytes, durable_fsyncs) =
+        match (durable_at_start, store.durability_stats()) {
+            (Some(start), Some(end)) => (
+                end.appended_ops - start.appended_ops,
+                end.appended_bytes - start.appended_bytes,
+                end.fsyncs - start.fsyncs,
+            ),
+            _ => (0, 0, 0),
+        };
+
     let cloud = Arc::into_inner(shared)
         .expect("all workers joined")
         .into_inner();
@@ -729,6 +753,9 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             probes_abandoned,
             breaker_trips,
             degraded_secs,
+            durable_ops,
+            durable_bytes,
+            durable_fsyncs,
         },
     )
 }
@@ -809,6 +836,61 @@ mod tests {
         );
         assert!(report.probes > 0, "expected probes in three days");
         assert!(store.read().spikes().next().is_some());
+    }
+
+    #[test]
+    fn durable_live_run_recovers_identically() {
+        use crate::durable::DurableOptions;
+        use crate::store::DataStore;
+        use spotlight_persist::tempdir::TempDir;
+
+        let tmp = TempDir::new("live-durable");
+        let dir = tmp.path().join("store");
+        let store: SharedStore =
+            Arc::new(DataStore::create_durable(&dir, DurableOptions::default()).expect("create"));
+        let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(29));
+        cloud.warmup(20);
+        let (_, report) = run_live(
+            cloud,
+            store.clone(),
+            LiveConfig {
+                policy: PolicyConfig {
+                    spike_threshold: 0.5,
+                    ..PolicyConfig::default()
+                },
+                duration: SimDuration::days(1),
+                ..LiveConfig::default()
+            },
+        );
+        assert!(report.probes > 0);
+        assert!(report.durable_ops >= report.probes as u64);
+        assert!(report.durable_bytes > 0);
+        assert!(report.durable_fsyncs > 0);
+
+        // Fingerprint the live store, drop it (joining the log
+        // writer), and demand the recovered store answer identically.
+        let markets: Vec<_> = {
+            let r = store.read();
+            r.probes().map(|p| p.market).collect()
+        };
+        let live_len = store.len();
+        let live_cost = store.total_cost();
+        let live_suppressed = store.suppressed_probes();
+        let live_stats: Vec<_> = markets
+            .iter()
+            .map(|&m| store.read().probe_stats(m, ProbeKind::OnDemand))
+            .collect();
+        drop(store);
+
+        let recovered = DataStore::recover(&dir).expect("recover");
+        assert_eq!(recovered.len(), live_len);
+        assert_eq!(recovered.total_cost(), live_cost);
+        assert_eq!(recovered.suppressed_probes(), live_suppressed);
+        let r = recovered.read();
+        assert_eq!(r.probes().count(), live_len);
+        for (m, want) in markets.iter().zip(live_stats) {
+            assert_eq!(r.probe_stats(*m, ProbeKind::OnDemand), want);
+        }
     }
 
     #[test]

@@ -607,6 +607,71 @@ mod tests {
     }
 
     #[test]
+    fn durable_engine_run_recovers_equal_to_in_memory_twin() {
+        use crate::durable::DurableOptions;
+        use crate::store::DataStore;
+        use spotlight_persist::tempdir::TempDir;
+        use std::sync::Arc;
+
+        let cfg = SpotLightConfig {
+            policy: PolicyConfig {
+                spike_threshold: 0.5,
+                ..PolicyConfig::default()
+            },
+            spot_check: Some(SpotCheckConfig {
+                interval: SimDuration::from_secs(900),
+                batch_size: 8,
+            }),
+            ..SpotLightConfig::default()
+        };
+
+        // The deterministic engine makes the in-memory twin a perfect
+        // oracle for the durable run: same seed, same probe stream.
+        let twin = run_spotlight(2, 31, cfg.clone());
+
+        let tmp = TempDir::new("engine-durable");
+        let dir = tmp.path().join("store");
+        {
+            let store: crate::store::SharedStore = Arc::new(
+                DataStore::create_durable(&dir, DurableOptions::default()).expect("create"),
+            );
+            let mut engine = Engine::new(Catalog::testbed(), SimConfig::paper(31));
+            engine.cloud_mut().warmup(20);
+            engine.add_agent(Box::new(SpotLight::new(cfg, store.clone())));
+            engine.run_until(SimTime::ZERO + SimDuration::days(2));
+            assert!(store.is_durable());
+        } // drop: drain + final fsync
+
+        let recovered = DataStore::recover(&dir).expect("recover");
+        assert!(!twin.is_empty());
+        assert_eq!(recovered.len(), twin.len());
+        assert_eq!(recovered.total_cost(), twin.total_cost());
+        assert_eq!(recovered.suppressed_probes(), twin.suppressed_probes());
+        let want = twin.read();
+        let got = recovered.read();
+        assert_eq!(
+            got.probes().collect::<Vec<_>>(),
+            want.probes().collect::<Vec<_>>(),
+            "recovered raw probe log must be bit-identical"
+        );
+        assert_eq!(got.spikes().count(), want.spikes().count());
+        assert_eq!(
+            got.intervals().collect::<Vec<_>>(),
+            want.intervals().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            got.revocations().collect::<Vec<_>>(),
+            want.revocations().collect::<Vec<_>>()
+        );
+        for p in want.probes() {
+            assert_eq!(
+                got.probe_stats(p.market, p.kind),
+                want.probe_stats(p.market, p.kind)
+            );
+        }
+    }
+
+    #[test]
     fn budget_limits_probing() {
         use crate::budget::BudgetConfig;
         use cloud_sim::price::Price;

@@ -75,6 +75,27 @@
 //! [`DataStore::len`] keeps counting every probe ever recorded;
 //! [`DataStore::resident_records`] / [`DataStore::resident_bytes`]
 //! report what is actually held.
+//!
+//! # Durability and recovery
+//!
+//! A store opened with [`DataStore::create_durable`] additionally
+//! appends every mutation to a per-stripe, CRC-framed, append-only
+//! segment log (one log *stream* per stripe plus a meta stream for
+//! store-wide events), written by a background thread behind a bounded
+//! queue with a configurable fsync policy
+//! ([`crate::durable::DurableOptions`]). [`DataStore::checkpoint`]
+//! writes an atomic full-state snapshot and prunes the log behind it;
+//! [`DataStore::recover`] rebuilds the store from the last checkpoint
+//! plus the surviving log tail, trimming torn or corrupt tail frames
+//! and dropping duplicated frames a retried append can leave. In
+//! durable mode [`DataStore::compact`] *spills* the doomed raw records
+//! into sealed on-disk segments before freeing their slabs, so
+//! bounded-RAM operation never destroys history. The protocol,
+//! sequence-number reasoning, and crash-safety argument live in
+//! [`crate::durable`]; the recovery oracle is
+//! `tests/persistence.rs`, which asserts a recovered store answers
+//! summarized queries bit-identically to one that never crashed across
+//! a torn/truncated/corrupted/duplicated fault matrix.
 
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, UnavailabilityInterval};
 use crate::sync::{RwLock, RwLockReadGuard};
@@ -96,7 +117,7 @@ pub const DEFAULT_STRIPES: usize = 16;
 /// processes, so stripe layout and map iteration order are stable for
 /// bench snapshots and reproducible output.
 #[derive(Default)]
-struct FxHasher {
+pub(crate) struct FxHasher {
     hash: u64,
 }
 
@@ -156,8 +177,8 @@ impl std::hash::Hasher for FxHasher {
     }
 }
 
-type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
-type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub(crate) type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// Default epoch-summary bucket width.
 pub const DEFAULT_EPOCH: SimDuration = SimDuration::from_secs(3600);
@@ -228,17 +249,17 @@ pub struct CompactionStats {
 
 /// One epoch bucket of a `(market, kind)` summary.
 #[derive(Debug, Clone, Copy, Default)]
-struct EpochCell {
-    informative: u64,
-    rejections: u64,
-    unavail_secs: u64,
+pub(crate) struct EpochCell {
+    pub(crate) informative: u64,
+    pub(crate) rejections: u64,
+    pub(crate) unavail_secs: u64,
 }
 
 /// A dense, growable run of epoch buckets starting at epoch `first`.
 #[derive(Debug, Default)]
-struct EpochSeries {
-    first: u64,
-    cells: Vec<EpochCell>,
+pub(crate) struct EpochSeries {
+    pub(crate) first: u64,
+    pub(crate) cells: Vec<EpochCell>,
 }
 
 impl EpochSeries {
@@ -289,41 +310,41 @@ impl EpochSeries {
 /// Everything one `(market, kind)` key maintains, reachable in a single
 /// hash lookup at ingest.
 #[derive(Debug, Default)]
-struct KeyState {
-    stats: ProbeStats,
+pub(crate) struct KeyState {
+    pub(crate) stats: ProbeStats,
     /// Indices into the stripe's interval slab, in interval-open order.
-    intervals: Vec<usize>,
+    pub(crate) intervals: Vec<usize>,
     /// The at-most-one open interval, as an index into the slab.
-    open: Option<usize>,
-    closed_intervals: u64,
+    pub(crate) open: Option<usize>,
+    pub(crate) closed_intervals: u64,
     /// Time-sorted timestamps of unavailable-outcome probes.
-    rejection_times: Vec<SimTime>,
+    pub(crate) rejection_times: Vec<SimTime>,
     /// Latest informative probe timestamp — the freshness anchor of
     /// [`StoreRead::last_informative_at`]. A max, not a last-write, so
     /// out-of-order live-mode arrivals cannot move it backwards.
-    last_informative: Option<SimTime>,
-    epochs: EpochSeries,
+    pub(crate) last_informative: Option<SimTime>,
+    pub(crate) epochs: EpochSeries,
     /// Set once the key's intervals stop being start-sorted and
     /// non-overlapping (possible under live-mode reordering); the
     /// epoch fast path then yields to the exact full walk.
-    disordered: bool,
+    pub(crate) disordered: bool,
 }
 
 /// One lock stripe: a shard of the log plus its secondary indices.
 #[derive(Debug, Default)]
-struct Stripe {
-    probes: Vec<ProbeRecord>,
-    probes_by_market: FxHashMap<MarketId, Vec<usize>>,
-    spikes: Vec<SpikeEvent>,
+pub(crate) struct Stripe {
+    pub(crate) probes: Vec<ProbeRecord>,
+    pub(crate) probes_by_market: FxHashMap<MarketId, Vec<usize>>,
+    pub(crate) spikes: Vec<SpikeEvent>,
     /// Sorted spike ratios per epoch — the summary `spike_rates` reads;
     /// holds every spike ever recorded (compaction keeps it intact).
-    spike_ratios_by_epoch: FxHashMap<u64, Vec<f64>>,
-    intervals: Vec<UnavailabilityInterval>,
-    keys: FxHashMap<(MarketId, ProbeKind), KeyState>,
-    od_rejections_by_region: HashMap<Region, u64>,
-    revocations: Vec<RevocationRecord>,
-    revocations_by_market: FxHashMap<MarketId, Vec<usize>>,
-    intrinsic_bids: Vec<IntrinsicBidRecord>,
+    pub(crate) spike_ratios_by_epoch: FxHashMap<u64, Vec<f64>>,
+    pub(crate) intervals: Vec<UnavailabilityInterval>,
+    pub(crate) keys: FxHashMap<(MarketId, ProbeKind), KeyState>,
+    pub(crate) od_rejections_by_region: HashMap<Region, u64>,
+    pub(crate) revocations: Vec<RevocationRecord>,
+    pub(crate) revocations_by_market: FxHashMap<MarketId, Vec<usize>>,
+    pub(crate) intrinsic_bids: Vec<IntrinsicBidRecord>,
 }
 
 /// The health of one region's probing transport, as the live pipeline's
@@ -346,15 +367,19 @@ pub struct RegionHealth {
 /// store-wide atomic counters and the region-health table.
 #[derive(Debug)]
 pub struct DataStore {
-    stripes: Box<[RwLock<Stripe>]>,
-    epoch_secs: u64,
-    recorded_probes: AtomicU64,
-    total_cost_micros: AtomicU64,
-    suppressed_probes: AtomicU64,
+    pub(crate) stripes: Box<[RwLock<Stripe>]>,
+    pub(crate) epoch_secs: u64,
+    pub(crate) recorded_probes: AtomicU64,
+    pub(crate) total_cost_micros: AtomicU64,
+    pub(crate) suppressed_probes: AtomicU64,
     /// Region degradation markers, written by live-mode circuit
     /// breakers. A separate (tiny, rarely written) lock so marking a
     /// region never contends with probe ingest.
-    region_health: RwLock<HashMap<Region, RegionHealth>>,
+    pub(crate) region_health: RwLock<HashMap<Region, RegionHealth>>,
+    /// The operation log, when this store was opened in durable mode
+    /// (see [`crate::durable`]). `None` for plain in-memory stores —
+    /// every ingest path then skips logging entirely.
+    pub(crate) durable: Option<crate::durable::DurableSink>,
 }
 
 impl Default for DataStore {
@@ -427,6 +452,7 @@ impl DataStore {
             total_cost_micros: AtomicU64::new(0),
             suppressed_probes: AtomicU64::new(0),
             region_health: RwLock::default(),
+            durable: None,
         }
     }
 
@@ -471,14 +497,22 @@ impl DataStore {
         self.total_cost_micros
             .fetch_add(probe.cost.as_micros(), Ordering::Relaxed);
         let epoch = probe.at.as_secs() / self.epoch_secs;
-        let mut stripe = self.stripes[self.stripe_of(probe.market)].write();
+        let idx = self.stripe_of(probe.market);
+        let mut stripe = self.stripes[idx].write();
+        if let Some(d) = &self.durable {
+            d.append(idx as u32, &crate::durable::StoreOp::Probe(probe));
+        }
         stripe.record_probe(probe, epoch, self.epoch_secs)
     }
 
     /// Records a spike observation (raw log + epoch ratio summary).
     pub fn record_spike(&self, spike: SpikeEvent) {
         let epoch = spike.at.as_secs() / self.epoch_secs;
-        let mut stripe = self.stripes[self.stripe_of(spike.market)].write();
+        let idx = self.stripe_of(spike.market);
+        let mut stripe = self.stripes[idx].write();
+        if let Some(d) = &self.durable {
+            d.append(idx as u32, &crate::durable::StoreOp::Spike(spike));
+        }
         stripe.spikes.push(spike);
         let ratios = stripe.spike_ratios_by_epoch.entry(epoch).or_default();
         insert_sorted_by(ratios, spike.ratio, |&r| r);
@@ -487,7 +521,15 @@ impl DataStore {
     /// Records that the policy wanted to probe but was suppressed by
     /// budget or service limits.
     pub fn record_suppressed(&self) {
-        self.suppressed_probes.fetch_add(1, Ordering::Relaxed);
+        let total = self.suppressed_probes.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(d) = &self.durable {
+            // Lock-free path: the op carries the running total and
+            // replays via `fetch_max`, so frame order never matters.
+            d.append(
+                self.meta_stream(),
+                &crate::durable::StoreOp::Suppressed { total },
+            );
+        }
     }
 
     /// Marks a region's probing transport degraded (a live-mode circuit
@@ -499,6 +541,12 @@ impl DataStore {
             h.degraded = true;
             h.since = at;
             h.trips += 1;
+            if let Some(d) = &self.durable {
+                d.append(
+                    self.meta_stream(),
+                    &crate::durable::StoreOp::RegionDegraded { region, at },
+                );
+            }
         }
     }
 
@@ -511,6 +559,12 @@ impl DataStore {
             if h.degraded {
                 h.degraded = false;
                 h.degraded_secs += at.saturating_since(h.since).as_secs();
+                if let Some(d) = &self.durable {
+                    d.append(
+                        self.meta_stream(),
+                        &crate::durable::StoreOp::RegionRecovered { region, at },
+                    );
+                }
             }
         }
     }
@@ -522,7 +576,11 @@ impl DataStore {
 
     /// Records a revocation-watch observation.
     pub fn record_revocation(&self, rec: RevocationRecord) {
-        let mut stripe = self.stripes[self.stripe_of(rec.market)].write();
+        let stripe_idx = self.stripe_of(rec.market);
+        let mut stripe = self.stripes[stripe_idx].write();
+        if let Some(d) = &self.durable {
+            d.append(stripe_idx as u32, &crate::durable::StoreOp::Revocation(rec));
+        }
         let idx = stripe.revocations.len();
         stripe.revocations.push(rec);
         let Stripe {
@@ -539,10 +597,12 @@ impl DataStore {
 
     /// Records an intrinsic-bid measurement.
     pub fn record_intrinsic_bid(&self, rec: IntrinsicBidRecord) {
-        self.stripes[self.stripe_of(rec.market)]
-            .write()
-            .intrinsic_bids
-            .push(rec);
+        let idx = self.stripe_of(rec.market);
+        let mut stripe = self.stripes[idx].write();
+        if let Some(d) = &self.durable {
+            d.append(idx as u32, &crate::durable::StoreOp::IntrinsicBid(rec));
+        }
+        stripe.intrinsic_bids.push(rec);
     }
 
     /// Folds raw records strictly older than `before` into the
@@ -550,10 +610,22 @@ impl DataStore {
     /// timestamps, epoch summaries, revocations, intrinsic bids, and
     /// every running counter are retained, so summarized queries are
     /// unchanged; raw-log iteration shrinks to the retained window.
+    ///
+    /// In durable mode the doomed raw records are first sealed into
+    /// spill segments on disk (see [`crate::durable`]) — compaction
+    /// *spills* rather than destroys, so the full raw history survives
+    /// bounded-RAM operation. If a stripe's spill write fails, that
+    /// stripe keeps its raw slabs (nothing is lost; the error is
+    /// surfaced via [`DataStore::durability_stats`]).
     pub fn compact(&self, before: SimTime) -> CompactionStats {
         let mut stats = CompactionStats::default();
-        for stripe in &self.stripes {
+        for (idx, stripe) in self.stripes.iter().enumerate() {
             let mut s = stripe.write();
+            if let Some(d) = &self.durable {
+                if !crate::durable::spill_stripe(d, idx, &s, before) {
+                    continue;
+                }
+            }
             stats.dropped_probes += s.compact_probes(before);
             stats.dropped_spikes += s.compact_spikes(before);
         }

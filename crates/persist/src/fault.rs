@@ -1,0 +1,171 @@
+//! Crash-injection helpers: deterministic file damage at byte
+//! granularity, used by the torn-write recovery tests.
+//!
+//! The fault matrix the recovery oracle drives:
+//!
+//! * **truncate** — the file loses its tail from an arbitrary byte
+//!   offset (a crash mid-append, or a filesystem that zero-extends
+//!   nothing);
+//! * **torn frame** — a special case of truncation landing inside a
+//!   frame; exercised by choosing offsets inside frame spans;
+//! * **bad CRC** — a byte inside an already-written frame flips (bit
+//!   rot, partial sector overwrite);
+//! * **duplicated tail** — the final frame appears twice (an append
+//!   retried after an unacknowledged write).
+//!
+//! All helpers operate on closed files by path; callers drop the
+//! [`crate::wal::WalHandle`] first so no writer races the damage.
+
+use crate::frame::{self, FRAME_OVERHEAD, HEADER_LEN};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Byte spans `[start, end)` of each frame in a framed file, including
+/// the file header as the leading span. Lets tests aim damage at a
+/// specific frame or boundary.
+///
+/// # Errors
+///
+/// Propagates read errors; returns an empty list for files shorter
+/// than a header.
+pub fn frame_spans(path: &Path) -> io::Result<Vec<(usize, usize)>> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < HEADER_LEN {
+        return Ok(Vec::new());
+    }
+    let mut spans = vec![(0, HEADER_LEN)];
+    let mut pos = HEADER_LEN;
+    while bytes.len() - pos >= FRAME_OVERHEAD {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("sized")) as usize;
+        if len > frame::MAX_FRAME || bytes.len() - pos - FRAME_OVERHEAD < len {
+            break;
+        }
+        spans.push((pos, pos + FRAME_OVERHEAD + len));
+        pos += FRAME_OVERHEAD + len;
+    }
+    Ok(spans)
+}
+
+/// Truncates the file to `len` bytes — the crash-mid-append fault.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn truncate_at(path: &Path, len: u64) -> io::Result<()> {
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_data()
+}
+
+/// XORs the byte at `offset` with `mask` (default damage `0x01` if
+/// `mask` is zero would be a no-op, so zero is rejected).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; fails if `offset` is past the end.
+pub fn corrupt_byte_at(path: &Path, offset: u64, mask: u8) -> io::Result<()> {
+    assert_ne!(mask, 0, "a zero mask would not corrupt anything");
+    let mut bytes = fs::read(path)?;
+    let i = usize::try_from(offset).expect("offset fits usize");
+    if i >= bytes.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "corruption offset past end of file",
+        ));
+    }
+    bytes[i] ^= mask;
+    fs::write(path, bytes)
+}
+
+/// Appends a copy of the file's final frame — the retried-append
+/// duplicate-tail fault. Returns `false` (and leaves the file alone)
+/// if the file holds no complete frame.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn duplicate_tail_frame(path: &Path) -> io::Result<bool> {
+    let spans = frame_spans(path)?;
+    // spans[0] is the header; the last *frame* span is what we copy.
+    let Some(&(start, end)) = spans.get(1..).and_then(|s| s.last()) else {
+        return Ok(false);
+    };
+    let bytes = fs::read(path)?;
+    let mut out = bytes.clone();
+    out.extend_from_slice(&bytes[start..end]);
+    fs::write(path, out)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{magic, scan, strip_header, ScanEnd};
+    use crate::tempdir::TempDir;
+
+    fn framed_file(dir: &Path, bodies: &[&[u8]]) -> std::path::PathBuf {
+        let mut out = Vec::new();
+        frame::write_header(&mut out, magic::WAL);
+        for (i, body) in bodies.iter().enumerate() {
+            frame::write_frame(&mut out, i as u64, body);
+        }
+        let path = dir.join("victim.log");
+        fs::write(&path, out).expect("write");
+        path
+    }
+
+    fn scan_file(path: &Path) -> (usize, ScanEnd) {
+        let bytes = fs::read(path).expect("read");
+        let res = scan(strip_header(&bytes, magic::WAL).expect("header"));
+        (res.frames.len(), res.end)
+    }
+
+    #[test]
+    fn spans_cover_the_file() {
+        let tmp = TempDir::new("fault-spans");
+        let path = framed_file(tmp.path(), &[b"aa", b"bbbb"]);
+        let spans = frame_spans(&path).expect("spans");
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0], (0, HEADER_LEN));
+        assert_eq!(spans[1].0, HEADER_LEN);
+        assert_eq!(spans[2].1 as u64, fs::metadata(&path).expect("meta").len());
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_tears_it() {
+        let tmp = TempDir::new("fault-trunc");
+        let path = framed_file(tmp.path(), &[b"aa", b"bbbb"]);
+        let spans = frame_spans(&path).expect("spans");
+        truncate_at(&path, (spans[2].0 + 3) as u64).expect("truncate");
+        assert_eq!(scan_file(&path), (1, ScanEnd::Truncated));
+    }
+
+    #[test]
+    fn corruption_fails_the_crc() {
+        let tmp = TempDir::new("fault-corrupt");
+        let path = framed_file(tmp.path(), &[b"aa", b"bbbb"]);
+        let spans = frame_spans(&path).expect("spans");
+        corrupt_byte_at(&path, (spans[1].0 + FRAME_OVERHEAD + 8) as u64, 0x10).expect("corrupt");
+        assert_eq!(scan_file(&path), (0, ScanEnd::BadCrc));
+    }
+
+    #[test]
+    fn duplicate_tail_doubles_the_last_frame() {
+        let tmp = TempDir::new("fault-dup");
+        let path = framed_file(tmp.path(), &[b"aa", b"bbbb"]);
+        assert!(duplicate_tail_frame(&path).expect("dup"));
+        let bytes = fs::read(&path).expect("read");
+        let res = scan(strip_header(&bytes, magic::WAL).expect("header"));
+        assert_eq!(res.end, ScanEnd::Clean);
+        let seqs: Vec<u64> = res.frames.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_tail_on_empty_file_is_a_noop() {
+        let tmp = TempDir::new("fault-dup-empty");
+        let path = framed_file(tmp.path(), &[]);
+        assert!(!duplicate_tail_frame(&path).expect("dup"));
+    }
+}

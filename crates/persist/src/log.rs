@@ -1,0 +1,438 @@
+//! The on-disk layout of a persistent store directory.
+//!
+//! ```text
+//! <root>/
+//!   header                  directory metadata (streams + app bytes)
+//!   wal-<gen>-<stream>.log  append-only generation files, per stream
+//!   checkpoint              latest checkpoint (temp+rename+fsync)
+//!   spill-<stripe>-<n>.seg  sealed, immutable spill segments
+//! ```
+//!
+//! Mutation rules that make crashes survivable:
+//!
+//! * WAL generation files are append-only and never rewritten; a crash
+//!   can only damage their tails, which the frame scanner trims.
+//! * The checkpoint and every spill segment are written to a temp file,
+//!   fsynced, then renamed into place, then the directory is fsynced —
+//!   readers see either the old file or the complete new one.
+//! * Old WAL generations are deleted only *after* the checkpoint that
+//!   supersedes them is durable.
+
+use crate::frame::{self, magic, ScanEnd, ScanResult};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+const HEADER_FILE: &str = "header";
+const CHECKPOINT_FILE: &str = "checkpoint";
+/// Checkpoint sections are split into frames of at most this many
+/// bytes, so a section (one stripe's full state) may exceed
+/// [`frame::MAX_FRAME`] without overflowing a frame.
+const CHECKPOINT_CHUNK: usize = 1 << 24;
+
+/// A handle on a persistent store directory.
+#[derive(Debug, Clone)]
+pub struct LogDir {
+    root: PathBuf,
+}
+
+/// Metadata read back from a directory's header file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogDirMeta {
+    /// Number of WAL streams the directory was created with.
+    pub streams: u32,
+    /// Opaque application bytes (the store's layout parameters).
+    pub app_meta: Vec<u8>,
+}
+
+impl LogDir {
+    /// Creates (or reuses) `root` and writes the header file declaring
+    /// `streams` streams and `app_meta`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created, a header already
+    /// exists (refusing to silently adopt another store's data), or
+    /// writing fails.
+    pub fn create(root: &Path, streams: u32, app_meta: &[u8]) -> io::Result<LogDir> {
+        fs::create_dir_all(root)?;
+        let dir = LogDir {
+            root: root.to_path_buf(),
+        };
+        if dir.root.join(HEADER_FILE).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "log directory already initialized",
+            ));
+        }
+        let mut body = Vec::new();
+        frame::write_header(&mut body, magic::DIR);
+        let mut section = Vec::with_capacity(4 + app_meta.len());
+        section.extend_from_slice(&streams.to_le_bytes());
+        section.extend_from_slice(app_meta);
+        frame::write_frame(&mut body, 0, &section);
+        dir.write_atomic(HEADER_FILE, &body)?;
+        Ok(dir)
+    }
+
+    /// Opens an existing directory and reads its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing, unreadable, or corrupt — a
+    /// damaged header is unrecoverable by design (it is tiny and
+    /// written once, atomically).
+    pub fn open(root: &Path) -> io::Result<(LogDir, LogDirMeta)> {
+        let dir = LogDir {
+            root: root.to_path_buf(),
+        };
+        let bytes = fs::read(dir.root.join(HEADER_FILE))?;
+        let body = frame::strip_header(&bytes, magic::DIR).map_err(corrupt)?;
+        let scanned = frame::scan(body);
+        if scanned.end != ScanEnd::Clean || scanned.frames.len() != 1 {
+            return Err(corrupt("damaged header frame"));
+        }
+        let section = &scanned.frames[0].body;
+        if section.len() < 4 {
+            return Err(corrupt("short header section"));
+        }
+        let streams = u32::from_le_bytes(section[..4].try_into().expect("sized"));
+        Ok((
+            dir,
+            LogDirMeta {
+                streams,
+                app_meta: section[4..].to_vec(),
+            },
+        ))
+    }
+
+    /// A second handle on the same directory (for the writer thread).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; kept fallible for handle-duplication schemes
+    /// that can.
+    pub fn clone_view(&self) -> io::Result<LogDir> {
+        Ok(self.clone())
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of one WAL generation file.
+    pub fn wal_path(&self, generation: u64, stream: u32) -> PathBuf {
+        self.root
+            .join(format!("wal-{generation:08}-{stream:04}.log"))
+    }
+
+    /// Opens a WAL generation file for appending, writing the file
+    /// header if the file is new.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_wal_append(&self, generation: u64, stream: u32) -> io::Result<File> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.wal_path(generation, stream))?;
+        if file.metadata()?.len() == 0 {
+            let mut header = Vec::with_capacity(frame::HEADER_LEN);
+            frame::write_header(&mut header, magic::WAL);
+            file.write_all(&header)?;
+        }
+        Ok(file)
+    }
+
+    /// Every `(generation, stream)` WAL file present, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn list_wal(&self) -> io::Result<Vec<(u64, u32)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(rest) = name.strip_prefix("wal-") {
+                if let Some(rest) = rest.strip_suffix(".log") {
+                    if let Some((gen_s, stream_s)) = rest.split_once('-') {
+                        if let (Ok(generation), Ok(stream)) =
+                            (gen_s.parse::<u64>(), stream_s.parse::<u32>())
+                        {
+                            out.push((generation, stream));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Reads and scans one WAL generation file. Torn/corrupt tails are
+    /// reported in the [`ScanResult`], not as errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on filesystem errors or a damaged *file header*.
+    pub fn read_wal(&self, generation: u64, stream: u32) -> io::Result<ScanResult> {
+        let bytes = fs::read(self.wal_path(generation, stream))?;
+        let body = frame::strip_header(&bytes, magic::WAL).map_err(corrupt)?;
+        Ok(frame::scan(body))
+    }
+
+    /// Deletes every WAL file with generation `< before`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn delete_wal_before(&self, before: u64) -> io::Result<()> {
+        for (generation, stream) in self.list_wal()? {
+            if generation < before {
+                fs::remove_file(self.wal_path(generation, stream))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces the checkpoint file with `sections` (one
+    /// CRC'd frame each, sequence = section index).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error the previous checkpoint,
+    /// if any, is still in place.
+    pub fn write_checkpoint(&self, sections: &[Vec<u8>]) -> io::Result<()> {
+        let mut body = Vec::new();
+        frame::write_header(&mut body, magic::CHECKPOINT);
+        for (i, section) in sections.iter().enumerate() {
+            // A section larger than one frame allows (year-scale epoch
+            // summaries can exceed MAX_FRAME) is chunked across
+            // consecutive frames sharing the section index as their
+            // sequence number; the reader reassembles by index.
+            let mut chunks = section.chunks(CHECKPOINT_CHUNK);
+            frame::write_frame(&mut body, i as u64, chunks.next().unwrap_or(&[]));
+            for chunk in chunks {
+                frame::write_frame(&mut body, i as u64, chunk);
+            }
+        }
+        self.write_atomic(CHECKPOINT_FILE, &body)
+    }
+
+    /// Reads the checkpoint's sections, or `None` if no checkpoint has
+    /// been written yet.
+    ///
+    /// # Errors
+    ///
+    /// A present-but-damaged checkpoint is a hard error: it was fsynced
+    /// before any WAL it supersedes was deleted, so damage means
+    /// something other than a crash-torn tail.
+    pub fn read_checkpoint(&self) -> io::Result<Option<Vec<Vec<u8>>>> {
+        let bytes = match fs::read(self.root.join(CHECKPOINT_FILE)) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err),
+        };
+        let body = frame::strip_header(&bytes, magic::CHECKPOINT).map_err(corrupt)?;
+        let scanned = frame::scan(body);
+        if scanned.end != ScanEnd::Clean {
+            return Err(corrupt("damaged checkpoint"));
+        }
+        // Reassemble chunked sections: consecutive frames share the
+        // section index as their sequence number.
+        let mut sections: Vec<Vec<u8>> = Vec::new();
+        for frame in scanned.frames {
+            match (frame.seq as usize).cmp(&sections.len()) {
+                std::cmp::Ordering::Equal => sections.push(frame.body),
+                std::cmp::Ordering::Less if frame.seq as usize + 1 == sections.len() => {
+                    sections
+                        .last_mut()
+                        .expect("non-empty by the index check")
+                        .extend_from_slice(&frame.body);
+                }
+                _ => return Err(corrupt("checkpoint section indices out of order")),
+            }
+        }
+        Ok(Some(sections))
+    }
+
+    /// Writes a sealed spill segment for `stripe` holding `records`
+    /// (one frame each) and returns its path. Atomic: temp, fsync,
+    /// rename, directory fsync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error no segment is visible.
+    pub fn write_spill(&self, stripe: u32, records: &[Vec<u8>]) -> io::Result<PathBuf> {
+        let n = self
+            .list_spills()?
+            .into_iter()
+            .filter(|&(s, _)| s == stripe)
+            .map(|(_, n)| n + 1)
+            .max()
+            .unwrap_or(0);
+        let name = format!("spill-{stripe:04}-{n:08}.seg");
+        let mut body = Vec::new();
+        frame::write_header(&mut body, magic::SPILL);
+        for (i, record) in records.iter().enumerate() {
+            frame::write_frame(&mut body, i as u64, record);
+        }
+        self.write_atomic(&name, &body)?;
+        Ok(self.root.join(name))
+    }
+
+    /// Every `(stripe, index)` spill segment present, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn list_spills(&self) -> io::Result<Vec<(u32, u64)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(rest) = name.strip_prefix("spill-") {
+                if let Some(rest) = rest.strip_suffix(".seg") {
+                    if let Some((stripe_s, n_s)) = rest.split_once('-') {
+                        if let (Ok(stripe), Ok(n)) = (stripe_s.parse::<u32>(), n_s.parse::<u64>()) {
+                            out.push((stripe, n));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Reads one sealed spill segment's records.
+    ///
+    /// # Errors
+    ///
+    /// A damaged spill segment is a hard error: segments are written
+    /// atomically and never appended to, so torn tails cannot happen.
+    pub fn read_spill(&self, stripe: u32, n: u64) -> io::Result<Vec<Vec<u8>>> {
+        let bytes = fs::read(self.root.join(format!("spill-{stripe:04}-{n:08}.seg")))?;
+        let body = frame::strip_header(&bytes, magic::SPILL).map_err(corrupt)?;
+        let scanned = frame::scan(body);
+        if scanned.end != ScanEnd::Clean {
+            return Err(corrupt("damaged spill segment"));
+        }
+        Ok(scanned.frames.into_iter().map(|f| f.body).collect())
+    }
+
+    /// Total bytes of every file in the directory — the store's
+    /// on-disk footprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn disk_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for entry in fs::read_dir(&self.root)? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    }
+
+    /// Writes `bytes` to `name` via temp + fsync + rename + dir fsync.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.root.join(format!("{name}.tmp"));
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, self.root.join(name))?;
+        // Make the rename itself durable.
+        File::open(&self.root)?.sync_data()?;
+        Ok(())
+    }
+}
+
+fn corrupt(what: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn header_round_trips_and_refuses_reinit() {
+        let tmp = TempDir::new("logdir-header");
+        let _ = LogDir::create(tmp.path(), 17, b"layout").expect("create");
+        let (_, meta) = LogDir::open(tmp.path()).expect("open");
+        assert_eq!(
+            meta,
+            LogDirMeta {
+                streams: 17,
+                app_meta: b"layout".to_vec()
+            }
+        );
+        assert!(LogDir::create(tmp.path(), 17, b"layout").is_err());
+    }
+
+    #[test]
+    fn checkpoint_replace_is_atomic_and_readable() {
+        let tmp = TempDir::new("logdir-ckpt");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        assert_eq!(dir.read_checkpoint().expect("none yet"), None);
+        dir.write_checkpoint(&[b"meta".to_vec(), b"stripe0".to_vec()])
+            .expect("write");
+        dir.write_checkpoint(&[b"meta2".to_vec()]).expect("rewrite");
+        assert_eq!(
+            dir.read_checkpoint().expect("read"),
+            Some(vec![b"meta2".to_vec()])
+        );
+    }
+
+    #[test]
+    fn oversize_checkpoint_sections_chunk_and_reassemble() {
+        let tmp = TempDir::new("logdir-ckpt-chunks");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        let big: Vec<u8> = (0..CHECKPOINT_CHUNK * 2 + 123)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let sections = vec![b"meta".to_vec(), big, Vec::new(), b"tail".to_vec()];
+        dir.write_checkpoint(&sections).expect("write");
+        assert_eq!(dir.read_checkpoint().expect("read"), Some(sections));
+    }
+
+    #[test]
+    fn wal_listing_and_deletion() {
+        let tmp = TempDir::new("logdir-wal");
+        let dir = LogDir::create(tmp.path(), 2, &[]).expect("create");
+        for generation in 0..3u64 {
+            for stream in 0..2u32 {
+                dir.open_wal_append(generation, stream).expect("open");
+            }
+        }
+        assert_eq!(dir.list_wal().expect("list").len(), 6);
+        dir.delete_wal_before(2).expect("delete");
+        assert_eq!(dir.list_wal().expect("list"), vec![(2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn spill_segments_are_numbered_per_stripe() {
+        let tmp = TempDir::new("logdir-spill");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        dir.write_spill(0, &[b"a".to_vec()]).expect("spill");
+        dir.write_spill(0, &[b"b".to_vec(), b"c".to_vec()])
+            .expect("spill");
+        dir.write_spill(3, &[b"d".to_vec()]).expect("spill");
+        assert_eq!(
+            dir.list_spills().expect("list"),
+            vec![(0, 0), (0, 1), (3, 0)]
+        );
+        assert_eq!(
+            dir.read_spill(0, 1).expect("read"),
+            vec![b"b".to_vec(), b"c".to_vec()]
+        );
+        assert!(dir.disk_bytes().expect("bytes") > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! A minimal RAII scratch directory for tests and benchmarks — the
+//! offline stand-in for the `tempfile` crate.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on
+/// drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `spotlight-<label>-<pid>-<n>` under `std::env::temp_dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — scratch space is a
+    /// precondition of every caller.
+    pub fn new(label: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("spotlight-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_removed_on_drop() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        let kept = a.path().to_path_buf();
+        assert!(kept.is_dir());
+        drop(a);
+        assert!(!kept.exists());
+    }
+}

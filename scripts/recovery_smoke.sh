@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for the verify path: runs the torn-write fault
+# matrix (truncated tail, torn frame, bit rot, duplicated tail record),
+# the compact-then-crash-then-recover sequence, the checkpoint/tail
+# interplay (tests/persistence.rs), and the durable live/engine
+# recovery twins (crates/core), all against release builds.
+#
+# Usage:
+#   scripts/recovery_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== recovery smoke: torn-write fault matrix =="
+cargo test --release --test persistence fault_matrix_recovery_keeps_the_surviving_prefix
+
+echo "== recovery smoke: compact, crash, recover =="
+cargo test --release --test persistence compact_then_crash_then_recover_loses_nothing
+
+echo "== recovery smoke: checkpoint with a torn tail =="
+cargo test --release --test persistence checkpoint_with_torn_tail_recovers_through_the_snapshot
+
+echo "== recovery smoke: durable live-mode and engine-mode twins =="
+cargo test --release -p spotlight-core durable_live_run_recovers_identically
+cargo test --release -p spotlight-core durable_engine_run_recovers_equal_to_in_memory_twin
+
+echo "recovery smoke: OK"

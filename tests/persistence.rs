@@ -1,0 +1,392 @@
+//! Crash-safe persistence tests: the torn-write fault matrix, the
+//! compact-then-crash sequence, checkpoint/tail interplay, and a
+//! year-scale bounded-RAM spill run.
+//!
+//! The oracle throughout: a store recovered from a damaged log must be
+//! indistinguishable — bit-identical summarized queries — from a store
+//! that never crashed and only ever saw the ops that survived on disk.
+
+use cloud_sim::ids::{Az, MarketId, Platform, Region};
+use cloud_sim::price::Price;
+use cloud_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use spotlight_core::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
+use spotlight_core::store::{DataStore, SpikeEvent};
+use spotlight_core::{DurableOptions, FsyncPolicy};
+use spotlight_persist::tempdir::TempDir;
+use spotlight_persist::{fault, LogDir};
+
+/// Fast writer options for tests: no fsync, ample queue.
+fn opts() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::Never,
+        queue_capacity: 4096,
+    }
+}
+
+fn market(i: u8) -> MarketId {
+    MarketId {
+        az: Az::new(Region::UsEast1, i % 3),
+        instance_type: "c3.large".parse().unwrap(),
+        platform: Platform::LinuxUnix,
+    }
+}
+
+/// A varied but deterministic probe stream: alternating kinds, a mix of
+/// informative outcomes, drifting ratios — enough to exercise interval
+/// tracking and the epoch summaries, not just raw appends.
+fn probe_at(i: u64, m: MarketId) -> ProbeRecord {
+    let kind = if i.is_multiple_of(2) {
+        ProbeKind::OnDemand
+    } else {
+        ProbeKind::Spot
+    };
+    let outcome = match i % 4 {
+        0 | 2 => ProbeOutcome::Fulfilled,
+        1 => ProbeOutcome::InsufficientCapacity,
+        _ => ProbeOutcome::PriceTooLow,
+    };
+    ProbeRecord {
+        at: SimTime::from_secs(i * 60),
+        market: m,
+        kind,
+        trigger: ProbeTrigger::Periodic,
+        outcome,
+        spot_ratio: 1.0 + (i % 7) as f64 * 0.25,
+        bid: (kind == ProbeKind::Spot).then(|| Price::from_dollars(0.2)),
+        cost: Price::from_dollars(0.02 + (i % 3) as f64 * 0.01),
+    }
+}
+
+/// Bit-identical summarized queries between two stores over `markets`.
+fn assert_same_summaries(got: &DataStore, want: &DataStore, markets: &[MarketId]) {
+    assert_eq!(got.len(), want.len(), "recorded probe count");
+    assert_eq!(got.total_cost(), want.total_cost(), "total cost");
+    assert_eq!(got.suppressed_probes(), want.suppressed_probes());
+    let (g, w) = (got.read(), want.read());
+    assert_eq!(
+        g.probes().copied().collect::<Vec<_>>(),
+        w.probes().copied().collect::<Vec<_>>(),
+        "raw probe log"
+    );
+    assert_eq!(
+        g.intervals().copied().collect::<Vec<_>>(),
+        w.intervals().copied().collect::<Vec<_>>(),
+        "unavailability intervals"
+    );
+    for &m in markets {
+        for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
+            assert_eq!(g.probe_stats(m, kind), w.probe_stats(m, kind));
+            assert_eq!(g.is_unavailable(m, kind), w.is_unavailable(m, kind));
+            assert_eq!(
+                g.closed_interval_count(m, kind),
+                w.closed_interval_count(m, kind)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The fault matrix: truncated tail, torn frame, bit rot, and a
+    // duplicated tail record, each at a generated position. Whatever
+    // prefix of operations survives the damage, the recovered store
+    // must equal a never-crashed store that saw exactly that prefix.
+    #[test]
+    fn fault_matrix_recovery_keeps_the_surviving_prefix(
+        n_ops in 2u64..30,
+        fault_pick in 0u8..4,
+        where_pick in any::<u64>(),
+    ) {
+        let m = market(0);
+        let tmp = TempDir::new("fault-matrix");
+        let dir = tmp.path().join("store");
+        let store = DataStore::create_durable_with_layout(
+            &dir,
+            opts(),
+            1,
+            SimDuration::from_secs(3600),
+        )
+        .unwrap();
+        for i in 0..n_ops {
+            store.record_probe(probe_at(i, m));
+        }
+        store.flush().unwrap();
+        drop(store);
+
+        // One stripe, one market: every op is a frame in stream 0 of
+        // generation 0, in sequence order.
+        let (log, _) = LogDir::open(&dir).unwrap();
+        let wal = log.wal_path(0, 0);
+        let spans = fault::frame_spans(&wal).unwrap();
+        prop_assert_eq!(spans.len() as u64, n_ops + 1); // header + frames
+        let frames = spans.len() - 1;
+
+        // Damage the log; `survivors` is how many ops must remain.
+        let survivors = match fault_pick {
+            0 => {
+                // Truncation at a frame boundary (possibly no-op).
+                let keep = (where_pick % (frames as u64 + 1)) as usize;
+                let end = if keep == 0 { spans[0].1 } else { spans[keep].1 };
+                fault::truncate_at(&wal, end as u64).unwrap();
+                keep as u64
+            }
+            1 => {
+                // A torn frame: the file ends mid-frame j.
+                let j = (where_pick % frames as u64) as usize + 1;
+                let (s, e) = spans[j];
+                let cut = s + 1 + (where_pick % (e - s - 1) as u64) as usize;
+                fault::truncate_at(&wal, cut as u64).unwrap();
+                (j - 1) as u64
+            }
+            2 => {
+                // Bit rot inside frame j: j and everything after it is
+                // unreachable (the scan cannot trust frame boundaries
+                // past a bad CRC).
+                let j = (where_pick % frames as u64) as usize + 1;
+                let (s, e) = spans[j];
+                let off = s + (where_pick % (e - s) as u64) as usize;
+                fault::corrupt_byte_at(&wal, off as u64, 0x20).unwrap();
+                (j - 1) as u64
+            }
+            _ => {
+                // A retried append duplicated the tail record; replay
+                // deduplicates by sequence number.
+                prop_assert!(fault::duplicate_tail_frame(&wal).unwrap());
+                n_ops
+            }
+        };
+
+        let recovered = DataStore::recover(&dir).unwrap();
+        let twin = DataStore::with_layout(1, SimDuration::from_secs(3600));
+        for i in 0..survivors {
+            twin.record_probe(probe_at(i, m));
+        }
+        assert_same_summaries(&recovered, &twin, &[m]);
+
+        // The reopened log must keep accepting appends (fresh
+        // generation, so the damaged tail is never appended into) and
+        // survive another recovery.
+        recovered.record_probe(probe_at(n_ops, m));
+        recovered.flush().unwrap();
+        drop(recovered);
+        let again = DataStore::recover(&dir).unwrap();
+        prop_assert_eq!(again.len() as u64, survivors + 1);
+    }
+}
+
+/// The satellite sequence: compact (which spills, not drops), then
+/// crash *without* a checkpoint, then recover. Nothing the compaction
+/// folded away may be lost, and a checkpoint afterwards pins the
+/// compacted resident set exactly.
+#[test]
+fn compact_then_crash_then_recover_loses_nothing() {
+    let tmp = TempDir::new("compact-crash");
+    let dir = tmp.path().join("store");
+    let store =
+        DataStore::create_durable_with_layout(&dir, opts(), 4, SimDuration::from_secs(3600))
+            .unwrap();
+    let twin = DataStore::with_layout(4, SimDuration::from_secs(3600));
+    let markets: Vec<MarketId> = (0..5).map(market).collect();
+    let total = 240u64;
+    for i in 0..total {
+        let p = probe_at(i, markets[(i % 5) as usize]);
+        store.record_probe(p);
+        twin.record_probe(p);
+    }
+    for i in 0..10u64 {
+        let s = SpikeEvent {
+            market: markets[(i % 5) as usize],
+            at: SimTime::from_secs(i * 600),
+            ratio: 2.5,
+            probed: i % 2 == 0,
+        };
+        store.record_spike(s);
+        twin.record_spike(s);
+    }
+
+    let before = SimTime::from_secs(120 * 60);
+    let dropped = store.compact(before);
+    assert_eq!(dropped, twin.compact(before), "same compaction on both");
+    assert!(dropped.dropped_probes > 0, "compaction must have work");
+    let stats = store.durability_stats().unwrap();
+    assert_eq!(
+        stats.spilled_records,
+        dropped.dropped_probes + dropped.dropped_spikes,
+        "every dropped record was sealed into a spill segment first"
+    );
+    assert_eq!(stats.io_errors, 0, "error: {:?}", stats.last_error);
+
+    // Crash without a checkpoint: the full WAL replays, so summaries
+    // match the never-crashed twin and the replayed raw history is a
+    // superset of its compacted resident set.
+    store.flush().unwrap();
+    drop(store);
+    let recovered = DataStore::recover(&dir).unwrap();
+    assert_eq!(recovered.len(), twin.len());
+    assert_eq!(recovered.total_cost(), twin.total_cost());
+    {
+        let (g, w) = (recovered.read(), twin.read());
+        for &m in &markets {
+            for kind in [ProbeKind::OnDemand, ProbeKind::Spot] {
+                assert_eq!(g.probe_stats(m, kind), w.probe_stats(m, kind));
+            }
+        }
+    }
+    assert!(recovered.resident_records() >= twin.resident_records());
+
+    // Re-compacting converges on the twin's resident set and archives
+    // the same records again.
+    let again = recovered.compact(before);
+    assert_eq!(again, dropped);
+    assert_eq!(recovered.resident_records(), twin.resident_records());
+
+    // The spill archive holds every record either compaction dropped.
+    let (log, _) = LogDir::open(&dir).unwrap();
+    let mut archived = 0u64;
+    for (stripe, n) in log.list_spills().unwrap() {
+        archived += log.read_spill(stripe, n).unwrap().len() as u64;
+    }
+    assert_eq!(
+        archived,
+        2 * (dropped.dropped_probes + dropped.dropped_spikes)
+    );
+
+    // A checkpoint now pins the compacted state: recovery no longer
+    // resurrects the spilled records.
+    recovered.checkpoint().unwrap();
+    drop(recovered);
+    let after_ckpt = DataStore::recover(&dir).unwrap();
+    assert_eq!(after_ckpt.resident_records(), twin.resident_records());
+    assert_same_summaries(&after_ckpt, &twin, &markets);
+}
+
+/// Checkpoint + damaged tail: ops before the checkpoint live in the
+/// snapshot (their WAL generations are pruned), ops after it live in
+/// the fresh generation — and a torn write there only costs the torn
+/// record itself.
+#[test]
+fn checkpoint_with_torn_tail_recovers_through_the_snapshot() {
+    let m = market(0);
+    let tmp = TempDir::new("ckpt-torn-tail");
+    let dir = tmp.path().join("store");
+    let store =
+        DataStore::create_durable_with_layout(&dir, opts(), 1, SimDuration::from_secs(3600))
+            .unwrap();
+    for i in 0..25u64 {
+        store.record_probe(probe_at(i, m));
+    }
+    store.checkpoint().unwrap();
+    for i in 25..35u64 {
+        store.record_probe(probe_at(i, m));
+    }
+    store.flush().unwrap();
+    drop(store);
+
+    // The post-checkpoint tail lives in generation 1; tear its final
+    // frame.
+    let (log, _) = LogDir::open(&dir).unwrap();
+    let wal = log.wal_path(1, 0);
+    let spans = fault::frame_spans(&wal).unwrap();
+    let &(s, e) = spans.last().unwrap();
+    fault::truncate_at(&wal, (s + (e - s) / 2) as u64).unwrap();
+
+    let recovered = DataStore::recover(&dir).unwrap();
+    let twin = DataStore::with_layout(1, SimDuration::from_secs(3600));
+    for i in 0..34u64 {
+        twin.record_probe(probe_at(i, m));
+    }
+    assert_same_summaries(&recovered, &twin, &[m]);
+
+    // A checkpoint only prunes generations *strictly below* the one it
+    // captured (appends may race into that generation after the
+    // snapshot), so full pruning shows up one checkpoint later: this
+    // one covers everything and deletes generations 0 and 1.
+    recovered.checkpoint().unwrap();
+    drop(recovered);
+    let (log, _) = LogDir::open(&dir).unwrap();
+    let gens = log.list_wal().unwrap();
+    assert!(
+        gens.iter().all(|&(generation, _)| generation >= 2),
+        "second checkpoint prunes the replayed generations, got {gens:?}"
+    );
+    assert_same_summaries(&DataStore::recover(&dir).unwrap(), &twin, &[m]);
+}
+
+/// One market of the paper's 5184: 9 regions × 6 AZ indices × 8
+/// instance families × 3 sizes × 4 platforms, mixed-radix over `i`.
+fn wide_market(i: usize) -> MarketId {
+    const FAMILIES: [&str; 8] = ["m1", "m3", "m4", "c1", "c3", "c4", "r3", "t2"];
+    const SIZES: [&str; 3] = ["large", "xlarge", "2xlarge"];
+    const PLATFORMS: [Platform; 4] = [
+        Platform::LinuxUnix,
+        Platform::LinuxUnixVpc,
+        Platform::Windows,
+        Platform::SuseLinux,
+    ];
+    let region = Region::ALL[i % 9];
+    let ty = format!("{}.{}", FAMILIES[(i / 54) % 8], SIZES[(i / 432) % 3]);
+    MarketId {
+        az: Az::new(region, ((i / 9) % 6) as u8),
+        instance_type: ty.parse().unwrap(),
+        platform: PLATFORMS[(i / 1296) % 4],
+    }
+}
+
+/// Year-scale ingest over all 5184 markets with monthly
+/// spill-compaction and checkpoints: the resident set stays bounded
+/// while the recorded history keeps growing, and the store still
+/// recovers. Gated: run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "year-scale run; release-mode only, run explicitly"]
+fn year_scale_5184_market_run_stays_resident_bounded() {
+    const MARKETS: usize = 5184;
+    const PER_HOUR: usize = 128;
+    const HOURS: u64 = 365 * 24;
+    const RESIDENT_CAP: u64 = 250_000;
+
+    let tmp = TempDir::new("year-scale");
+    let dir = tmp.path().join("store");
+    let store = DataStore::create_durable(&dir, opts()).unwrap();
+    let mut issued = 0u64;
+    for h in 0..HOURS {
+        let now = SimTime::from_secs(h * 3600);
+        for k in 0..PER_HOUR {
+            let i = (h as usize * PER_HOUR + k) % MARKETS;
+            let mut p = probe_at(h * PER_HOUR as u64 + k as u64, wide_market(i));
+            p.at = now;
+            store.record_probe(p);
+            issued += 1;
+        }
+        if h > 0 && h % (30 * 24) == 0 {
+            // Keep two weeks of raw records resident; seal the rest.
+            store.compact(SimTime::from_secs((h - 14 * 24) * 3600));
+            store.checkpoint().unwrap();
+            assert!(
+                store.resident_records() < RESIDENT_CAP,
+                "resident set unbounded: {} records at hour {h}",
+                store.resident_records()
+            );
+        }
+    }
+    assert_eq!(store.len() as u64, issued);
+    let stats = store.durability_stats().unwrap();
+    assert!(stats.spilled_records > 0);
+    assert_eq!(stats.io_errors, 0, "error: {:?}", stats.last_error);
+    assert!(store.disk_bytes().unwrap() > 0);
+
+    let sample = wide_market(17);
+    let want_stats = store.read().probe_stats(sample, ProbeKind::OnDemand);
+    let want_resident = store.resident_records();
+    store.flush().unwrap();
+    drop(store);
+
+    let recovered = DataStore::recover(&dir).unwrap();
+    assert_eq!(recovered.len() as u64, issued);
+    assert_eq!(recovered.resident_records(), want_resident);
+    assert_eq!(
+        recovered.read().probe_stats(sample, ProbeKind::OnDemand),
+        want_stats
+    );
+}
