@@ -109,6 +109,11 @@ pub(crate) struct DurableSink {
     /// Serializes checkpoints (capture + rotate + write must not
     /// interleave between two callers).
     ckpt_lock: crate::sync::Mutex<()>,
+    /// Serializes durable compaction passes: spill-then-drop releases
+    /// the stripe lock between snapshot and drop, so two concurrent
+    /// `compact` calls could otherwise seal the same records twice and
+    /// race each other's prefix drop.
+    pub(crate) compact_lock: crate::sync::Mutex<()>,
     /// Errors from durable paths outside the WAL writer (spills).
     io_errors: AtomicU64,
     last_error: crate::sync::Mutex<Option<String>>,
@@ -123,6 +128,7 @@ impl DurableSink {
             spilled_records: AtomicU64::new(0),
             current_gen: AtomicU64::new(current_gen),
             ckpt_lock: crate::sync::Mutex::new(()),
+            compact_lock: crate::sync::Mutex::new(()),
             io_errors: AtomicU64::new(0),
             last_error: crate::sync::Mutex::new(None),
         }
@@ -643,16 +649,10 @@ fn corrupt(what: &'static str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what)
 }
 
-/// Seals every raw record older than `before` in `stripe` into a spill
-/// segment. Returns `false` — telling the caller to *keep* the raw
-/// slabs — if the segment could not be written; spill-then-drop is the
-/// no-data-loss invariant of durable compaction.
-pub(crate) fn spill_stripe(
-    sink: &DurableSink,
-    idx: usize,
-    stripe: &Stripe,
-    before: SimTime,
-) -> bool {
+/// Encodes every raw record of `stripe` older than `before` for
+/// spilling. Memory-only, so it is cheap enough to run under the
+/// stripe lock; the slow segment write is [`write_spill`].
+pub(crate) fn encode_spill(stripe: &Stripe, before: SimTime) -> Vec<Vec<u8>> {
     let mut records: Vec<Vec<u8>> = Vec::new();
     for p in &stripe.probes {
         if p.at < before {
@@ -664,10 +664,20 @@ pub(crate) fn spill_stripe(
             records.push(StoreOp::Spike(*s).to_bytes());
         }
     }
+    records
+}
+
+/// Seals pre-encoded `records` into a spill segment for stripe `idx`.
+/// Synchronous disk IO — callers must **not** hold the stripe lock, so
+/// ingest and reads proceed while the segment lands. Returns `false` —
+/// telling the caller to *keep* the raw slabs — if the segment could
+/// not be written; spill-then-drop is the no-data-loss invariant of
+/// durable compaction.
+pub(crate) fn write_spill(sink: &DurableSink, idx: usize, records: &[Vec<u8>]) -> bool {
     if records.is_empty() {
         return true;
     }
-    match sink.dir.write_spill(idx as u32, &records) {
+    match sink.dir.write_spill(idx as u32, records) {
         Ok(_) => {
             sink.spilled_records
                 .fetch_add(records.len() as u64, Ordering::Relaxed);
@@ -1185,6 +1195,49 @@ mod tests {
         drop(recovered);
         let again = DataStore::recover(&dir).expect("recover again");
         assert_eq!(again.len(), 40);
+    }
+
+    #[test]
+    fn checkpoint_racing_ingest_never_double_counts() {
+        // Regression: the probe counters used to bump before the stripe
+        // lock was taken, so a checkpoint could capture an in-flight
+        // probe's counter increment while its WAL frame got a sequence
+        // number at or past the captured floor — counted in the
+        // snapshot *and* replayed on recovery.
+        let tmp = TempDir::new("durable-ckpt-race");
+        let dir = tmp.path().join("store");
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 300;
+        {
+            let store = DataStore::create_durable(&dir, DurableOptions::default()).expect("create");
+            std::thread::scope(|scope| {
+                for w in 0..WRITERS {
+                    let store = &store;
+                    scope.spawn(move || {
+                        for t in 0..PER_WRITER {
+                            store.record_probe(probe(
+                                t * 60,
+                                market(w as u8),
+                                ProbeOutcome::Fulfilled,
+                            ));
+                        }
+                    });
+                }
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        store.checkpoint().expect("checkpoint");
+                    }
+                });
+            });
+        }
+        let recovered = DataStore::recover(&dir).expect("recover");
+        let total = (WRITERS * PER_WRITER) as usize;
+        assert_eq!(recovered.len(), total);
+        assert_eq!(recovered.read().probes().count(), total);
+        assert_eq!(
+            recovered.total_cost(),
+            Price::from_micros(Price::from_dollars(0.1).as_micros() * total as u64)
+        );
     }
 
     #[test]

@@ -493,12 +493,18 @@ impl DataStore {
     /// Locks only the market's stripe; concurrent callers for other
     /// stripes proceed in parallel.
     pub fn record_probe(&self, probe: ProbeRecord) -> bool {
-        self.recorded_probes.fetch_add(1, Ordering::Relaxed);
-        self.total_cost_micros
-            .fetch_add(probe.cost.as_micros(), Ordering::Relaxed);
         let epoch = probe.at.as_secs() / self.epoch_secs;
         let idx = self.stripe_of(probe.market);
         let mut stripe = self.stripes[idx].write();
+        // The counter bumps live inside the stripe-lock critical
+        // section, next to the WAL append: checkpoint captures the
+        // counters and `next_seq` under every stripe lock, so a probe
+        // is either entirely inside the snapshot (counted, seq below
+        // the captured floor) or entirely replayed on recovery — never
+        // both, which would double-count it in `len`/`total_cost`.
+        self.recorded_probes.fetch_add(1, Ordering::Relaxed);
+        self.total_cost_micros
+            .fetch_add(probe.cost.as_micros(), Ordering::Relaxed);
         if let Some(d) = &self.durable {
             d.append(idx as u32, &crate::durable::StoreOp::Probe(probe));
         }
@@ -618,16 +624,40 @@ impl DataStore {
     /// stripe keeps its raw slabs (nothing is lost; the error is
     /// surfaced via [`DataStore::durability_stats`]).
     pub fn compact(&self, before: SimTime) -> CompactionStats {
+        // Durable compaction releases the stripe lock between spilling
+        // and dropping, so concurrent passes must not interleave (the
+        // same records would be sealed twice).
+        let _spill_guard = self.durable.as_ref().map(|d| d.compact_lock.lock());
         let mut stats = CompactionStats::default();
         for (idx, stripe) in self.stripes.iter().enumerate() {
-            let mut s = stripe.write();
-            if let Some(d) = &self.durable {
-                if !crate::durable::spill_stripe(d, idx, &s, before) {
-                    continue;
+            // In durable mode the doomed records are sealed *before*
+            // their slabs are touched, and the synchronous segment
+            // write runs with no stripe lock held — ingest and reads
+            // proceed during the disk IO. Only the snapshotted slab
+            // prefix is dropped afterwards: records that arrive
+            // mid-spill (even ones older than `before`) stay resident
+            // until the next pass, so segments never hold duplicates.
+            let spilled = match &self.durable {
+                Some(d) => {
+                    let (records, probes_len, spikes_len) = {
+                        let s = stripe.read();
+                        (
+                            crate::durable::encode_spill(&s, before),
+                            s.probes.len(),
+                            s.spikes.len(),
+                        )
+                    };
+                    if !crate::durable::write_spill(d, idx, &records) {
+                        continue; // keep the raw slabs: nothing sealed
+                    }
+                    Some((probes_len, spikes_len))
                 }
-            }
-            stats.dropped_probes += s.compact_probes(before);
-            stats.dropped_spikes += s.compact_spikes(before);
+                None => None,
+            };
+            let mut s = stripe.write();
+            let (probe_limit, spike_limit) = spilled.unwrap_or((s.probes.len(), s.spikes.len()));
+            stats.dropped_probes += s.compact_probes(before, probe_limit);
+            stats.dropped_spikes += s.compact_spikes(before, spike_limit);
         }
         stats
     }
@@ -784,11 +814,14 @@ impl Stripe {
         }
     }
 
-    /// Drops probe records older than `before`, remapping the
-    /// per-market indices onto the retained slab. Markets whose probes
-    /// are all compacted keep their (empty) index entry so
-    /// `probed_markets` stays a lifetime fact.
-    fn compact_probes(&mut self, before: SimTime) -> u64 {
+    /// Drops probe records older than `before` among the first `limit`
+    /// slab entries, remapping the per-market indices onto the retained
+    /// slab. Entries at or past `limit` are kept regardless — in
+    /// durable mode they arrived after the spill snapshot and have not
+    /// been sealed on disk yet. Markets whose probes are all compacted
+    /// keep their (empty) index entry so `probed_markets` stays a
+    /// lifetime fact.
+    fn compact_probes(&mut self, before: SimTime, limit: usize) -> u64 {
         let old_len = self.probes.len();
         if old_len == 0 {
             return 0;
@@ -796,7 +829,7 @@ impl Stripe {
         let mut remap = vec![usize::MAX; old_len];
         let mut kept = Vec::new();
         for (i, p) in self.probes.iter().enumerate() {
-            if p.at >= before {
+            if i >= limit || p.at >= before {
                 remap[i] = kept.len();
                 kept.push(*p);
             }
@@ -820,11 +853,18 @@ impl Stripe {
         (old_len - self.probes.len()) as u64
     }
 
-    /// Drops spike records older than `before`; their ratios stay in
-    /// the epoch buckets, so `spike_rates` is unchanged.
-    fn compact_spikes(&mut self, before: SimTime) -> u64 {
+    /// Drops spike records older than `before` among the first `limit`
+    /// slab entries (later entries postdate the spill snapshot, like
+    /// `compact_probes`); their ratios stay in the epoch buckets, so
+    /// `spike_rates` is unchanged.
+    fn compact_spikes(&mut self, before: SimTime, limit: usize) -> u64 {
         let old_len = self.spikes.len();
-        self.spikes.retain(|s| s.at >= before);
+        let mut i = 0;
+        self.spikes.retain(|s| {
+            let keep = i >= limit || s.at >= before;
+            i += 1;
+            keep
+        });
         self.spikes.shrink_to_fit();
         (old_len - self.spikes.len()) as u64
     }

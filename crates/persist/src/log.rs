@@ -86,6 +86,12 @@ impl LogDir {
         let dir = LogDir {
             root: root.to_path_buf(),
         };
+        // A crash between a temp write and its rename leaves a stale
+        // `*.tmp` behind; checkpoint.tmp would be truncated by the next
+        // checkpoint, but spill temp names are never reused, so they
+        // would accumulate forever. Sweep them all before anything
+        // reads or writes the directory — only renamed files are live.
+        dir.sweep_tmp()?;
         let bytes = fs::read(dir.root.join(HEADER_FILE))?;
         let body = frame::strip_header(&bytes, magic::DIR).map_err(corrupt)?;
         let scanned = frame::scan(body);
@@ -338,6 +344,22 @@ impl LogDir {
         Ok(total)
     }
 
+    /// Unlinks every abandoned `*.tmp` file in the directory (debris
+    /// from a crash between a temp write and its rename).
+    fn sweep_tmp(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".tmp"))
+            {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
     /// Writes `bytes` to `name` via temp + fsync + rename + dir fsync.
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         let tmp = self.root.join(format!("{name}.tmp"));
@@ -415,6 +437,21 @@ mod tests {
         assert_eq!(dir.list_wal().expect("list").len(), 6);
         dir.delete_wal_before(2).expect("delete");
         assert_eq!(dir.list_wal().expect("list"), vec![(2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let tmp = TempDir::new("logdir-tmp-sweep");
+        let _ = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        // Debris a crash mid-write_atomic would leave behind.
+        std::fs::write(tmp.path().join("spill-0000-00000000.seg.tmp"), b"torn").expect("write");
+        std::fs::write(tmp.path().join("checkpoint.tmp"), b"torn").expect("write");
+        let (dir, _) = LogDir::open(tmp.path()).expect("open");
+        assert!(!tmp.path().join("spill-0000-00000000.seg.tmp").exists());
+        assert!(!tmp.path().join("checkpoint.tmp").exists());
+        // The swept name is free again for a real spill.
+        dir.write_spill(0, &[b"a".to_vec()]).expect("spill");
+        assert_eq!(dir.list_spills().expect("list"), vec![(0, 0)]);
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! frames into one write, and fsyncs per the configured [`FsyncPolicy`].
 //!
 //! Ordering guarantee: sequence numbers are assigned under the stream's
-//! staging lock, staged buffers only ever append, and the channel is
-//! FIFO into a single writer, so the frames of any one stream land on
-//! disk in strictly increasing sequence order. Recovery leans on this
-//! for duplicate suppression (per-stream `last_seen` high-water marks).
+//! staging lock, staged buffers only ever append, the channel send of a
+//! filled stage happens **while that lock is still held**, and the
+//! channel is FIFO into a single writer, so the frames of any one
+//! stream land on disk in strictly increasing sequence order — even
+//! when a flush/rotate drain races a threshold-crossing append.
+//! Recovery leans on this for duplicate suppression (per-stream
+//! `last_seen` high-water marks).
 //!
 //! Rotation ([`WalHandle::rotate`]) flushes and closes every open
 //! generation file and bumps the generation counter; checkpointing uses
@@ -122,8 +125,9 @@ pub struct WalHandle {
     writer: Option<JoinHandle<()>>,
     next_seq: AtomicU64,
     /// Per-stream staging buffers for group commit. Sequence numbers
-    /// are assigned under the stage lock, so each stream's frames are
-    /// strictly seq-ordered on disk even for lock-free callers.
+    /// are assigned *and filled stages are sent to the writer* under
+    /// the stage lock, so each stream's frames are strictly seq-ordered
+    /// on disk even for lock-free callers.
     stages: Vec<Mutex<Vec<u8>>>,
     /// Staging threshold in bytes; 0 sends every frame immediately.
     stage_bytes: usize,
@@ -195,7 +199,13 @@ impl WalHandle {
             .fetch_add((stage.len() - before) as u64, Ordering::Relaxed);
         if stage.len() >= self.stage_bytes {
             let bytes = std::mem::take(&mut *stage);
-            drop(stage);
+            // Send while the stage lock is still held: two senders on
+            // one stream (a second threshold crossing, or a concurrent
+            // flush/rotate drain) must enqueue in seq-assignment order,
+            // or recovery's monotone per-stream floor would silently
+            // skip the overtaken lower-seq frames. A full queue merely
+            // extends this critical section (backpressure); the writer
+            // thread never takes stage locks, so it cannot deadlock.
             self.tx
                 .as_ref()
                 .expect("wal running")
@@ -206,21 +216,23 @@ impl WalHandle {
     }
 
     /// Hands every non-empty staging buffer to the writer, in stream
-    /// order. Ordering with concurrent appends is the caller's problem,
-    /// exactly as it was for the un-staged channel.
+    /// order. Each send happens under the stream's stage lock so it
+    /// serializes against concurrent appends' sends — see `append`.
     fn drain_stages(&self) {
         for (stream, stage) in self.stages.iter().enumerate() {
-            let bytes = std::mem::take(&mut *stage.lock().expect("stage lock"));
-            if !bytes.is_empty() {
-                self.tx
-                    .as_ref()
-                    .expect("wal running")
-                    .send(Msg::Frame {
-                        stream: stream as u32,
-                        bytes,
-                    })
-                    .expect("wal writer alive");
+            let mut stage = stage.lock().expect("stage lock");
+            if stage.is_empty() {
+                continue;
             }
+            let bytes = std::mem::take(&mut *stage);
+            self.tx
+                .as_ref()
+                .expect("wal running")
+                .send(Msg::Frame {
+                    stream: stream as u32,
+                    bytes,
+                })
+                .expect("wal writer alive");
         }
     }
 
@@ -522,6 +534,50 @@ mod tests {
             }
         }
         assert_eq!(read_stream(&dir, 0, 0).len(), 100);
+    }
+
+    #[test]
+    fn concurrent_appends_and_flushes_keep_seq_order() {
+        // Regression: sends used to happen after the stage lock was
+        // released, so a flush drain racing a threshold-crossing append
+        // could enqueue a stream's frames out of seq order — which
+        // recovery's monotone floor then silently drops. Always-fsync
+        // sends every append immediately, the tightest interleaving.
+        let tmp = TempDir::new("wal-race");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        let wal = WalHandle::open(
+            &dir,
+            WalConfig {
+                fsync: FsyncPolicy::Always,
+                ..WalConfig::default()
+            },
+            0,
+            0,
+        )
+        .expect("open");
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = 250;
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                scope.spawn(|| {
+                    for i in 0..PER_WRITER {
+                        wal.append(0, &(i as u64).to_le_bytes());
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    wal.flush().expect("flush");
+                }
+            });
+        });
+        wal.flush().expect("final flush");
+        let seqs: Vec<u64> = read_stream(&dir, 0, 0).iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs.len(), WRITERS * PER_WRITER);
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "stream seqs must be strictly increasing"
+        );
     }
 
     #[test]
