@@ -169,6 +169,7 @@ fn bench_ingest_durable(c: &mut Criterion) {
                         DurableOptions {
                             fsync: FsyncPolicy::Batch,
                             queue_capacity: 4096,
+                            ..DurableOptions::default()
                         },
                     )
                     .expect("durable store");
@@ -206,6 +207,7 @@ fn bench_recover_1m(c: &mut Criterion) {
             DurableOptions {
                 fsync: FsyncPolicy::Never,
                 queue_capacity: 65_536,
+                ..DurableOptions::default()
             },
         )
         .expect("durable store");

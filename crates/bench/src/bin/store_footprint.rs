@@ -80,6 +80,7 @@ fn main() {
         DurableOptions {
             fsync: FsyncPolicy::Never,
             queue_capacity: 65_536,
+            ..DurableOptions::default()
         },
     )
     .expect("create durable store");
@@ -90,6 +91,9 @@ fn main() {
     let durable_stats = durable.durability_stats().expect("stats");
     assert_eq!(durable_stats.io_errors, 0, "{:?}", durable_stats.last_error);
     let spilled_records = durable_stats.spilled_records;
+    let wal_io_errors = durable_stats.io_errors;
+    let ops_dropped = durable_stats.ops_dropped;
+    let durability_mode = format!("{:?}", durable_stats.mode);
     drop(durable);
 
     let recover_start = Instant::now();
@@ -123,6 +127,9 @@ fn main() {
          \"disk_bytes_after_checkpoint\":{disk_after_checkpoint},\
          \"spill_segment_bytes\":{spill_bytes},\
          \"spilled_records\":{spilled_records},\
+         \"wal_io_errors\":{wal_io_errors},\
+         \"ops_dropped\":{ops_dropped},\
+         \"durability_mode\":\"{durability_mode}\",\
          \"recover_ms\":{recover_ms}}}",
         dropped.dropped_probes,
         dropped.dropped_spikes,

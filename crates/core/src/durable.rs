@@ -40,6 +40,45 @@
 //! scanning stops at the first torn, truncated, or corrupt frame, so a
 //! crash mid-write costs at most the unsynced tail. Recovery never
 //! appends to scanned files: it reopens the log at a fresh generation.
+//!
+//! # Degraded durability and healing
+//!
+//! A long-running collector must survive the disk itself misbehaving,
+//! not just process death. When the WAL writer's bounded in-thread
+//! retries cannot get a batch onto disk (persistent `ENOSPC`/`EIO`, or
+//! repeated fsync failure), the sink transitions to
+//! [`DurabilityMode::Degraded`]:
+//!
+//! * Ingest keeps working **in memory** — `record_*` calls skip the
+//!   encode+append entirely (counted in
+//!   [`DurabilityStats::ops_dropped`]) instead of wedging on a dead
+//!   disk.
+//! * The transition publishes a `durability_lost` watermark: the max op
+//!   time that was provably written *and fsynced* before the failure.
+//!   Ops at or before the watermark survive a crash; ops after it exist
+//!   only in memory until the store heals. (The watermark is a valid
+//!   frontier because record order carries non-decreasing op times —
+//!   live ticks advance monotonically.)
+//! * [`DataStore::tend_durability`] — called by the live driver every
+//!   tick, or by any caller on its own schedule — retries a *heal*
+//!   with exponential backoff: revive the WAL at a fresh generation,
+//!   then take a full checkpoint. The checkpoint captures every op the
+//!   degraded window dropped (they are still in memory), so a
+//!   successful heal loses nothing that was recorded: the store
+//!   returns to [`DurabilityMode::Durable`] and the watermark clears.
+//!   A still-broken disk fails the checkpoint and the sink returns to
+//!   degraded, backing off further.
+//!
+//! # Graceful shutdown
+//!
+//! [`DataStore::close`] drains the write-behind queue, takes a final
+//! checkpoint, and writes an atomic clean-shutdown marker recording
+//! the log position. [`DataStore::recover`] consumes the marker (it is
+//! removed before the store reopens, so it can never be trusted twice)
+//! and, when it matches the checkpoint, skips the WAL tail scan
+//! entirely — [`RecoveryInfo::replayed_ops`] is 0 and
+//! [`RecoveryInfo::from_clean_shutdown`] is true. An unclean death
+//! leaves no marker and recovery replays the tail as usual.
 
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger, UnavailabilityInterval};
 use crate::store::{
@@ -48,14 +87,16 @@ use crate::store::{
 };
 use cloud_sim::ids::Region;
 use cloud_sim::time::{SimDuration, SimTime};
-use spotlight_persist::log::LogDir;
+use spotlight_persist::log::{CleanMarker, LogDir};
 use spotlight_persist::wal::{WalConfig, WalHandle};
-use spotlight_persist::{Decode, DecodeError, Encode, Reader};
+use spotlight_persist::{Decode, DecodeError, DiskIo, Encode, Reader};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub use spotlight_persist::FsyncPolicy;
 
@@ -67,6 +108,15 @@ pub struct DurableOptions {
     /// Bounded depth of the append queue; ingest blocks (backpressure)
     /// when the disk falls this far behind.
     pub queue_capacity: usize,
+    /// Disk-I/O layer under every write and fsync; `None` means the
+    /// real filesystem. Tests inject a
+    /// [`spotlight_persist::FaultyDisk`] here.
+    pub io: Option<Arc<dyn DiskIo>>,
+    /// Backoff before the first heal attempt after a degraded
+    /// transition; doubles per failed attempt.
+    pub heal_retry_base: Duration,
+    /// Ceiling on the heal backoff.
+    pub heal_retry_cap: Duration,
 }
 
 impl Default for DurableOptions {
@@ -74,9 +124,29 @@ impl Default for DurableOptions {
         DurableOptions {
             fsync: FsyncPolicy::Batch,
             queue_capacity: 4096,
+            io: None,
+            heal_retry_base: Duration::from_millis(100),
+            heal_retry_cap: Duration::from_secs(10),
         }
     }
 }
+
+/// Whether a durable store is actually putting ops on disk right now.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Appends flow to the WAL normally.
+    #[default]
+    Durable,
+    /// The disk defeated bounded retry: ops are in-memory only until a
+    /// heal succeeds (see the module docs).
+    Degraded,
+}
+
+const MODE_DURABLE: u8 = 0;
+const MODE_DEGRADED: u8 = 1;
+/// Sentinel for "no durability loss": the watermark atomic holds this
+/// when the store has never degraded (or has fully healed).
+const NO_LOSS: u64 = u64::MAX;
 
 /// Counters describing a durable store's log activity.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -91,10 +161,40 @@ pub struct DurabilityStats {
     pub checkpoints: u64,
     /// Raw records sealed into spill segments by compaction.
     pub spilled_records: u64,
-    /// IO errors absorbed by the fire-and-forget append path.
+    /// Write/fsync errors the durable paths have hit.
     pub io_errors: u64,
     /// Description of the most recent IO error, if any.
     pub last_error: Option<String>,
+    /// Whether appends are currently reaching disk.
+    pub mode: DurabilityMode,
+    /// While degraded (or until a heal completes): ops at or before
+    /// this time are provably on disk; later ones may be memory-only.
+    /// `None` when fully durable.
+    pub durability_lost: Option<SimTime>,
+    /// Ops skipped at the sink while degraded (in memory only until
+    /// the healing checkpoint captures them).
+    pub ops_dropped: u64,
+    /// Frames the WAL writer dropped after exhausting its retries.
+    pub dropped_frames: u64,
+    /// Durable → degraded transitions.
+    pub degraded_transitions: u64,
+    /// Successful heals (WAL re-established plus a full checkpoint).
+    pub heals: u64,
+}
+
+/// What [`DataStore::recover_with_report`] actually did — the
+/// crash-torture harness asserts on this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Ops applied from the WAL tail past the checkpoint floor
+    /// (including suppressed-counter applications). Zero after a clean
+    /// shutdown.
+    pub replayed_ops: u64,
+    /// Whether a valid clean-shutdown marker let recovery skip the tail
+    /// scan entirely.
+    pub from_clean_shutdown: bool,
+    /// Whether a checkpoint existed and was loaded.
+    pub checkpoint_loaded: bool,
 }
 
 /// The durable half of a [`DataStore`]: directory, WAL, and counters.
@@ -117,10 +217,32 @@ pub(crate) struct DurableSink {
     /// Errors from durable paths outside the WAL writer (spills).
     io_errors: AtomicU64,
     last_error: crate::sync::Mutex<Option<String>>,
+    /// [`MODE_DURABLE`] or [`MODE_DEGRADED`].
+    mode: AtomicU8,
+    /// Op-time watermark published at the degraded transition
+    /// ([`NO_LOSS`] when fully durable).
+    durability_lost: AtomicU64,
+    /// Ops skipped at the sink while degraded.
+    ops_dropped: AtomicU64,
+    degraded_transitions: AtomicU64,
+    heals: AtomicU64,
+    /// Heal backoff bookkeeping.
+    heal: crate::sync::Mutex<HealState>,
+    heal_retry_base: Duration,
+    heal_retry_cap: Duration,
+}
+
+#[derive(Debug, Default)]
+struct HealState {
+    /// Failed heal attempts since the degraded transition.
+    attempts: u32,
+    /// Earliest instant the next heal may run; `None` when not
+    /// degraded.
+    next_retry: Option<Instant>,
 }
 
 impl DurableSink {
-    fn new(dir: LogDir, wal: WalHandle, current_gen: u64) -> DurableSink {
+    fn new(dir: LogDir, wal: WalHandle, current_gen: u64, opts: &DurableOptions) -> DurableSink {
         DurableSink {
             dir,
             wal,
@@ -131,6 +253,14 @@ impl DurableSink {
             compact_lock: crate::sync::Mutex::new(()),
             io_errors: AtomicU64::new(0),
             last_error: crate::sync::Mutex::new(None),
+            mode: AtomicU8::new(MODE_DURABLE),
+            durability_lost: AtomicU64::new(NO_LOSS),
+            ops_dropped: AtomicU64::new(0),
+            degraded_transitions: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+            heal: crate::sync::Mutex::new(HealState::default()),
+            heal_retry_base: opts.heal_retry_base,
+            heal_retry_cap: opts.heal_retry_cap,
         }
     }
 
@@ -138,7 +268,22 @@ impl DurableSink {
     /// the stream's frame order matches state order. Encodes into a
     /// thread-local scratch buffer: this is the per-record hot path and
     /// must not allocate.
+    ///
+    /// While degraded this is two atomic loads and an increment — the
+    /// op stays in memory only, counted, until a heal's checkpoint
+    /// captures it.
     pub(crate) fn append(&self, stream: u32, op: &StoreOp) {
+        if self.mode.load(Ordering::Acquire) == MODE_DEGRADED {
+            self.ops_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if self.wal.is_degraded() {
+            // First observer of the writer giving up publishes the
+            // transition and its watermark.
+            self.enter_degraded();
+            self.ops_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         thread_local! {
             static SCRATCH: std::cell::RefCell<Vec<u8>> =
                 const { std::cell::RefCell::new(Vec::new()) };
@@ -147,8 +292,44 @@ impl DurableSink {
             let mut buf = scratch.borrow_mut();
             buf.clear();
             op.encode(&mut buf);
-            self.wal.append(stream, &buf);
+            if self.wal.append(stream, &buf, op.at_secs()).is_err() {
+                // The writer thread is gone (shutdown race): stop
+                // pretending appends persist.
+                self.enter_degraded();
+                self.ops_dropped.fetch_add(1, Ordering::Relaxed);
+            }
         });
+    }
+
+    /// Publishes the durable → degraded transition exactly once per
+    /// episode: the watermark is the writer's durability frontier at
+    /// the moment of failure, and the first heal attempt is scheduled.
+    fn enter_degraded(&self) {
+        if self
+            .mode
+            .compare_exchange(
+                MODE_DURABLE,
+                MODE_DEGRADED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            self.durability_lost
+                .store(self.wal.durable_at(), Ordering::Release);
+            self.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+            let mut heal = self.heal.lock();
+            heal.attempts = 0;
+            heal.next_retry = Some(Instant::now() + self.heal_retry_base);
+        }
+    }
+
+    /// The published durability-loss watermark, if any.
+    fn lost_watermark(&self) -> Option<SimTime> {
+        match self.durability_lost.load(Ordering::Acquire) {
+            NO_LOSS => None,
+            secs => Some(SimTime::from_secs(secs)),
+        }
     }
 
     fn note_error(&self, what: &str, err: &io::Error) {
@@ -248,6 +429,27 @@ impl Decode for StoreOp {
             },
             _ => return Err(DecodeError::Invalid("store op tag")),
         })
+    }
+}
+
+impl StoreOp {
+    /// The op's time in seconds, fed to the WAL's durability watermark.
+    /// 0 (never advancing the watermark) for untimed ops.
+    fn at_secs(&self) -> u64 {
+        match self {
+            StoreOp::Probe(p) => p.at.as_secs(),
+            StoreOp::Spike(s) => s.at.as_secs(),
+            StoreOp::Revocation(r) => r
+                .released_at
+                .or(r.revoked_at)
+                .unwrap_or(r.acquired_at)
+                .as_secs(),
+            StoreOp::IntrinsicBid(b) => b.at.as_secs(),
+            StoreOp::Suppressed { .. } => 0,
+            StoreOp::RegionDegraded { at, .. } | StoreOp::RegionRecovered { at, .. } => {
+                at.as_secs()
+            }
+        }
     }
 }
 
@@ -731,7 +933,10 @@ impl DataStore {
         let mut app_meta = Vec::new();
         (stripes as u32).encode(&mut app_meta);
         epoch.as_secs().encode(&mut app_meta);
-        let log = LogDir::create(dir, stripes as u32 + 1, &app_meta)?;
+        let mut log = LogDir::create(dir, stripes as u32 + 1, &app_meta)?;
+        if let Some(io) = &opts.io {
+            log = log.with_io(Arc::clone(io));
+        }
         let wal = WalHandle::open(
             &log,
             WalConfig {
@@ -742,7 +947,7 @@ impl DataStore {
             0,
             0,
         )?;
-        store.durable = Some(DurableSink::new(log, wal, 0));
+        store.durable = Some(DurableSink::new(log, wal, 0, &opts));
         Ok(store)
     }
 
@@ -764,7 +969,28 @@ impl DataStore {
     ///
     /// See [`DataStore::recover`].
     pub fn recover_with(dir: &Path, opts: DurableOptions) -> io::Result<DataStore> {
-        let (log, dir_meta) = LogDir::open(dir)?;
+        DataStore::recover_with_report(dir, opts).map(|(store, _)| store)
+    }
+
+    /// [`DataStore::recover_with`], also reporting what recovery did —
+    /// the crash-torture harness asserts on this.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataStore::recover`].
+    pub fn recover_with_report(
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> io::Result<(DataStore, RecoveryInfo)> {
+        let (mut log, dir_meta) = LogDir::open(dir)?;
+        if let Some(io) = &opts.io {
+            log = log.with_io(Arc::clone(io));
+        }
+        // Consume the clean-shutdown marker up front: whatever happens
+        // from here on (including a crash mid-recovery), a stale marker
+        // can never talk a *later* recovery out of a replay it needs.
+        let marker = log.read_clean_marker()?;
+        log.remove_clean_marker()?;
         let mut mr = Reader::new(&dir_meta.app_meta);
         let stripes = u32::decode(&mut mr).map_err(bad_data)? as usize;
         let epoch_secs = u64::decode(&mut mr).map_err(bad_data)?;
@@ -777,7 +1003,9 @@ impl DataStore {
         // 1. The checkpoint, if one was ever completed.
         let mut next_seq = 0u64;
         let mut min_gen = 0u64;
+        let mut checkpoint_loaded = false;
         if let Some(sections) = log.read_checkpoint()? {
+            checkpoint_loaded = true;
             if sections.len() != stripes + 1 {
                 return Err(corrupt("checkpoint section count mismatch"));
             }
@@ -798,34 +1026,49 @@ impl DataStore {
             }
         }
 
-        // 2. Replay the log tail. Per-stream monotone sequence floors
-        // drop checkpoint-covered frames and retried-append duplicates
-        // alike; the frame scanner already trimmed torn tails.
-        let mut floor = vec![next_seq; stripes + 1];
+        // 2. Replay the log tail — unless a clean-shutdown marker
+        // proves the tail holds nothing past the checkpoint. The marker
+        // must agree with the checkpoint it was written after
+        // (`close()` writes the marker with no appends in between, at
+        // the generation the closing checkpoint rotated to); any
+        // mismatch means it is stale debris and the full scan runs.
+        let from_clean_shutdown = checkpoint_loaded
+            && marker.is_some_and(|m| m.next_seq == next_seq && m.generation == min_gen + 1);
+        let mut replayed_ops = 0u64;
         let mut max_gen = min_gen;
         let mut max_seq = next_seq;
-        for (generation, stream) in log.list_wal()? {
-            max_gen = max_gen.max(generation);
-            if generation < min_gen || stream as usize > stripes {
-                continue;
-            }
-            let scanned = log.read_wal(generation, stream)?;
-            for frame in scanned.frames {
-                max_seq = max_seq.max(frame.seq + 1);
-                let op = StoreOp::from_bytes(&frame.body).map_err(bad_data)?;
-                if let StoreOp::Suppressed { total } = op {
-                    // Monotone and idempotent: applied regardless of the
-                    // sequence floor, which makes the lock-free
-                    // suppressed path correct under any interleaving
-                    // with a concurrent checkpoint.
-                    store.suppressed_probes.fetch_max(total, Ordering::Relaxed);
+        if from_clean_shutdown {
+            max_gen = min_gen + 1;
+        } else {
+            // Per-stream monotone sequence floors drop
+            // checkpoint-covered frames and retried-append duplicates
+            // alike; the frame scanner already trimmed torn tails.
+            let mut floor = vec![next_seq; stripes + 1];
+            for (generation, stream) in log.list_wal()? {
+                max_gen = max_gen.max(generation);
+                if generation < min_gen || stream as usize > stripes {
                     continue;
                 }
-                if frame.seq < floor[stream as usize] {
-                    continue;
+                let scanned = log.read_wal(generation, stream)?;
+                for frame in scanned.frames {
+                    max_seq = max_seq.max(frame.seq + 1);
+                    let op = StoreOp::from_bytes(&frame.body).map_err(bad_data)?;
+                    if let StoreOp::Suppressed { total } = op {
+                        // Monotone and idempotent: applied regardless of
+                        // the sequence floor, which makes the lock-free
+                        // suppressed path correct under any interleaving
+                        // with a concurrent checkpoint.
+                        store.suppressed_probes.fetch_max(total, Ordering::Relaxed);
+                        replayed_ops += 1;
+                        continue;
+                    }
+                    if frame.seq < floor[stream as usize] {
+                        continue;
+                    }
+                    floor[stream as usize] = frame.seq + 1;
+                    store.apply(op);
+                    replayed_ops += 1;
                 }
-                floor[stream as usize] = frame.seq + 1;
-                store.apply(op);
             }
         }
 
@@ -842,8 +1085,15 @@ impl DataStore {
             new_gen,
             max_seq,
         )?;
-        store.durable = Some(DurableSink::new(log, wal, new_gen));
-        Ok(store)
+        store.durable = Some(DurableSink::new(log, wal, new_gen, &opts));
+        Ok((
+            store,
+            RecoveryInfo {
+                replayed_ops,
+                from_clean_shutdown,
+                checkpoint_loaded,
+            },
+        ))
     }
 
     /// Applies a replayed op through the normal in-memory ingest paths
@@ -947,11 +1197,7 @@ impl DataStore {
     pub fn durability_stats(&self) -> Option<DurabilityStats> {
         let d = self.durable.as_ref()?;
         let ws = d.wal.stats();
-        let last_error = d
-            .last_error
-            .lock()
-            .clone()
-            .or_else(|| ws.last_error.lock().expect("stats lock").clone());
+        let last_error = d.last_error.lock().clone().or_else(|| ws.last_error_text());
         Some(DurabilityStats {
             appended_ops: ws.appended_ops.load(Ordering::Relaxed),
             appended_bytes: ws.appended_bytes.load(Ordering::Relaxed),
@@ -960,6 +1206,144 @@ impl DataStore {
             spilled_records: d.spilled_records.load(Ordering::Relaxed),
             io_errors: ws.io_errors.load(Ordering::Relaxed) + d.io_errors.load(Ordering::Relaxed),
             last_error,
+            mode: match d.mode.load(Ordering::Acquire) {
+                MODE_DEGRADED => DurabilityMode::Degraded,
+                _ => DurabilityMode::Durable,
+            },
+            durability_lost: d.lost_watermark(),
+            ops_dropped: d.ops_dropped.load(Ordering::Relaxed),
+            dropped_frames: ws.dropped_frames.load(Ordering::Relaxed),
+            degraded_transitions: d.degraded_transitions.load(Ordering::Relaxed),
+            heals: d.heals.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Whether appends are currently reaching disk; `None` for
+    /// in-memory stores.
+    pub fn durability_mode(&self) -> Option<DurabilityMode> {
+        let d = self.durable.as_ref()?;
+        Some(match d.mode.load(Ordering::Acquire) {
+            MODE_DEGRADED => DurabilityMode::Degraded,
+            _ => DurabilityMode::Durable,
+        })
+    }
+
+    /// The durability-loss watermark: ops at or before this time are
+    /// provably on disk, later ones may be memory-only. `None` when
+    /// fully durable (or in-memory).
+    pub fn durability_lost(&self) -> Option<SimTime> {
+        self.durable.as_ref()?.lost_watermark()
+    }
+
+    /// Drives the degraded → durable heal loop. Call this periodically
+    /// from a maintenance point (the live driver does so once per
+    /// tick), never from an ingest path — a successful heal runs a full
+    /// checkpoint, which takes every stripe lock.
+    ///
+    /// Returns `Ok(true)` when a heal completed this call, `Ok(false)`
+    /// when there was nothing to do (healthy, in-memory, or backoff not
+    /// yet elapsed).
+    ///
+    /// # Errors
+    ///
+    /// A failed heal attempt returns its IO error after re-entering
+    /// degraded mode and doubling the retry backoff; the store remains
+    /// usable either way.
+    pub fn tend_durability(&self) -> io::Result<bool> {
+        let Some(d) = &self.durable else {
+            return Ok(false);
+        };
+        if d.mode.load(Ordering::Acquire) == MODE_DURABLE {
+            if d.wal.is_degraded() {
+                // The writer died quietly (e.g. fsync failures with no
+                // intervening append): publish the transition here so
+                // an idle store still heals.
+                d.enter_degraded();
+            } else {
+                return Ok(false);
+            }
+        }
+        {
+            let heal = d.heal.lock();
+            match heal.next_retry {
+                Some(due) if Instant::now() >= due => {}
+                _ => return Ok(false),
+            }
+        }
+        self.heal_now()
+    }
+
+    /// One heal attempt, ignoring backoff: revive the WAL at a fresh
+    /// generation, re-enable appends, then checkpoint so every op that
+    /// was memory-only while degraded becomes durable.
+    fn heal_now(&self) -> io::Result<bool> {
+        let d = self.durable.as_ref().expect("heal on a durable store");
+        let new_gen = match d.wal.revive() {
+            Ok(gen) => gen,
+            Err(err) => return Err(self.heal_failed(err)),
+        };
+        d.current_gen.store(new_gen, Ordering::Relaxed);
+        // Re-enable appends *before* the checkpoint: an op recorded
+        // from here on lands either in the fresh WAL generation or
+        // inside the checkpoint snapshot — both recoverable. The
+        // reverse order would silently lose ops recorded between the
+        // capture and the flip.
+        d.mode.store(MODE_DURABLE, Ordering::Release);
+        if let Err(err) = self.checkpoint() {
+            // The disk is still bad: back off and go around again.
+            d.mode.store(MODE_DEGRADED, Ordering::Release);
+            return Err(self.heal_failed(err));
+        }
+        d.durability_lost.store(NO_LOSS, Ordering::Release);
+        d.heals.fetch_add(1, Ordering::Relaxed);
+        let mut heal = d.heal.lock();
+        heal.attempts = 0;
+        heal.next_retry = None;
+        Ok(true)
+    }
+
+    /// Records a failed heal attempt: note the error and double the
+    /// backoff (capped).
+    fn heal_failed(&self, err: io::Error) -> io::Error {
+        let d = self.durable.as_ref().expect("heal on a durable store");
+        d.note_error("heal", &err);
+        let mut heal = d.heal.lock();
+        heal.attempts = heal.attempts.saturating_add(1);
+        let backoff = d
+            .heal_retry_base
+            .saturating_mul(1u32 << heal.attempts.min(16))
+            .min(d.heal_retry_cap);
+        heal.next_retry = Some(Instant::now() + backoff);
+        err
+    }
+
+    /// Gracefully shuts the store down: final checkpoint (healing
+    /// first if degraded, so memory-only ops reach disk), then a
+    /// clean-shutdown marker that lets the next [`DataStore::recover`]
+    /// skip the WAL tail scan entirely. Consumes the store — taking it
+    /// by value is what guarantees no append races the marker.
+    ///
+    /// A no-op `Ok` for in-memory stores.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the final checkpoint or the marker write.
+    /// On error the store is dropped *without* a marker, which is
+    /// always safe: the next recovery simply replays the tail.
+    pub fn close(self) -> io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        if d.mode.load(Ordering::Acquire) == MODE_DEGRADED || d.wal.is_degraded() {
+            d.enter_degraded();
+            self.heal_now()?;
+        } else {
+            self.checkpoint()?;
+        }
+        let d = self.durable.as_ref().expect("durable checked above");
+        d.dir.write_clean_marker(CleanMarker {
+            next_seq: d.wal.next_seq(),
+            generation: d.current_gen.load(Ordering::Relaxed),
         })
     }
 
@@ -977,6 +1361,7 @@ mod tests {
     use cloud_sim::ids::{Az, MarketId, Platform};
     use cloud_sim::price::Price;
     use spotlight_persist::tempdir::TempDir;
+    use spotlight_persist::{FaultKind, FaultWindow, FaultyDisk};
 
     fn market(i: u8) -> MarketId {
         MarketId {
@@ -1258,6 +1643,184 @@ mod tests {
         assert_eq!(dstats.spilled_records, stats.dropped_probes);
         assert_eq!(dstats.io_errors, 0);
         assert!(store.disk_bytes().expect("disk bytes") > 0);
+    }
+
+    #[test]
+    fn close_writes_marker_and_recovery_skips_replay() {
+        let tmp = TempDir::new("durable-clean-close");
+        let dir = tmp.path().join("store");
+        {
+            let store = DataStore::create_durable(&dir, DurableOptions::default()).expect("create");
+            for t in 0..25u64 {
+                store.record_probe(probe(
+                    t * 60,
+                    market((t % 3) as u8),
+                    ProbeOutcome::Fulfilled,
+                ));
+            }
+            store.close().expect("close");
+        }
+        let (recovered, info) =
+            DataStore::recover_with_report(&dir, DurableOptions::default()).expect("recover");
+        assert!(info.from_clean_shutdown, "marker must be honored");
+        assert!(info.checkpoint_loaded);
+        assert_eq!(info.replayed_ops, 0, "clean restart does no tail replay");
+        assert_eq!(recovered.len(), 25);
+
+        // The marker is single-use: an unclean drop now must replay.
+        recovered.record_probe(probe(9000, market(0), ProbeOutcome::Fulfilled));
+        drop(recovered);
+        let (again, info) =
+            DataStore::recover_with_report(&dir, DurableOptions::default()).expect("recover again");
+        assert!(!info.from_clean_shutdown);
+        assert_eq!(info.replayed_ops, 1);
+        assert_eq!(again.len(), 26);
+    }
+
+    #[test]
+    fn close_on_empty_store_is_clean() {
+        let tmp = TempDir::new("durable-close-empty");
+        let dir = tmp.path().join("store");
+        DataStore::create_durable(&dir, DurableOptions::default())
+            .expect("create")
+            .close()
+            .expect("close");
+        let (recovered, info) =
+            DataStore::recover_with_report(&dir, DurableOptions::default()).expect("recover");
+        assert!(info.from_clean_shutdown);
+        assert_eq!(info.replayed_ops, 0);
+        assert_eq!(recovered.len(), 0);
+    }
+
+    /// Measures the byte length of the single coalesced WAL write that
+    /// flushing `count` identical probes produces, so fault windows can
+    /// target exact write attempts (the encoding is deterministic).
+    fn measured_flush_len(count: u64) -> u64 {
+        let io = Arc::new(FaultyDisk::scripted(Vec::new()));
+        let tmp = TempDir::new("durable-measure");
+        let store = DataStore::create_durable(
+            &tmp.path().join("store"),
+            DurableOptions {
+                fsync: FsyncPolicy::Never,
+                io: Some(io.clone() as Arc<dyn DiskIo>),
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        for t in 0..count {
+            store.record_probe(probe(t * 60, market(0), ProbeOutcome::Fulfilled));
+        }
+        store.flush().expect("flush");
+        io.written() - 8 // minus the stream file header
+    }
+
+    /// A scripted ENOSPC window defeats the writer's bounded retry,
+    /// the sink degrades (publishing the loss watermark), and once the
+    /// window is behind us `tend_durability` heals: fresh generation,
+    /// full checkpoint, and nothing recorded in memory is lost.
+    #[test]
+    fn faulty_disk_degrades_store_then_tend_heals() {
+        const PROBES: u64 = 20;
+        let flush_len = measured_flush_len(PROBES);
+        // Cover the first write attempt and the start of the third:
+        // all three retries fail (each attempt advances the cumulative
+        // position by `flush_len`), and every later write clears it.
+        let io = Arc::new(FaultyDisk::scripted(vec![FaultWindow {
+            kind: FaultKind::WriteEnospc,
+            from: 8,
+            to: 8 + 2 * flush_len + 1,
+        }]));
+        let tmp = TempDir::new("durable-degrade-heal");
+        let dir = tmp.path().join("store");
+        let store = DataStore::create_durable(
+            &dir,
+            DurableOptions {
+                fsync: FsyncPolicy::Never,
+                io: Some(io.clone() as Arc<dyn DiskIo>),
+                heal_retry_base: Duration::ZERO,
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        for t in 0..PROBES {
+            store.record_probe(probe(t * 60, market(0), ProbeOutcome::Fulfilled));
+        }
+        let err = store.flush().expect_err("the scripted window must fire");
+        assert_eq!(err.raw_os_error(), Some(28), "ENOSPC surfaces: {err}");
+        assert!(io.injected() >= 3, "every retry consumed a fault");
+
+        // The sink observes the writer's surrender at the next append.
+        store.record_probe(probe(PROBES * 60, market(0), ProbeOutcome::Fulfilled));
+        assert_eq!(store.durability_mode(), Some(DurabilityMode::Degraded));
+        assert!(store.durability_lost().is_some(), "watermark published");
+        let stats = store.durability_stats().expect("stats");
+        assert_eq!(stats.degraded_transitions, 1);
+        assert_eq!(stats.ops_dropped, 1);
+        assert!(stats.dropped_frames >= 1);
+        assert!(stats.io_errors >= 3);
+
+        // Degraded ingest still lands in memory.
+        assert_eq!(store.len(), PROBES as usize + 1);
+
+        // The window is exhausted, so the heal goes through.
+        assert!(io.exhausted());
+        assert!(store.tend_durability().expect("heal"), "heal ran");
+        assert_eq!(store.durability_mode(), Some(DurabilityMode::Durable));
+        assert_eq!(store.durability_lost(), None);
+        let stats = store.durability_stats().expect("stats");
+        assert_eq!(stats.heals, 1);
+        assert_eq!(stats.checkpoints, 1);
+        // Nothing to do when healthy.
+        assert!(!store.tend_durability().expect("idle tend"));
+
+        // Post-heal appends persist, and recovery sees every op that
+        // was ever applied in memory — including the dropped one the
+        // healing checkpoint captured.
+        store.record_probe(probe((PROBES + 1) * 60, market(1), ProbeOutcome::Fulfilled));
+        store.close().expect("close");
+        let recovered = DataStore::recover(&dir).expect("recover");
+        assert_eq!(recovered.len(), PROBES as usize + 2);
+    }
+
+    /// `close()` on a degraded store heals first (ignoring backoff), so
+    /// the final checkpoint and marker cover the memory-only ops.
+    #[test]
+    fn close_while_degraded_heals_first() {
+        const PROBES: u64 = 20;
+        let flush_len = measured_flush_len(PROBES);
+        let io = Arc::new(FaultyDisk::scripted(vec![FaultWindow {
+            kind: FaultKind::WriteEnospc,
+            from: 8,
+            to: 8 + 2 * flush_len + 1,
+        }]));
+        let tmp = TempDir::new("durable-degraded-close");
+        let dir = tmp.path().join("store");
+        let store = DataStore::create_durable(
+            &dir,
+            DurableOptions {
+                fsync: FsyncPolicy::Never,
+                io: Some(io.clone() as Arc<dyn DiskIo>),
+                // A heal via tend would have to wait out this backoff;
+                // close ignores it.
+                heal_retry_base: Duration::from_secs(3600),
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        for t in 0..PROBES {
+            store.record_probe(probe(t * 60, market(0), ProbeOutcome::Fulfilled));
+        }
+        assert!(store.flush().is_err());
+        store.record_probe(probe(PROBES * 60, market(2), ProbeOutcome::Fulfilled));
+        assert_eq!(store.durability_mode(), Some(DurabilityMode::Degraded));
+        assert!(!store.tend_durability().expect("backoff holds"));
+        store.close().expect("close heals then marks");
+
+        let (recovered, info) =
+            DataStore::recover_with_report(&dir, DurableOptions::default()).expect("recover");
+        assert!(info.from_clean_shutdown);
+        assert_eq!(info.replayed_ops, 0);
+        assert_eq!(recovered.len(), PROBES as usize + 1);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 
-pub use durable::{DurabilityStats, DurableOptions, FsyncPolicy};
+pub use durable::{DurabilityMode, DurabilityStats, DurableOptions, FsyncPolicy, RecoveryInfo};
 pub use manager::{LiveConfig, LiveReport, ResilienceConfig};
 pub use policy::{PolicyConfig, SpotLightConfig};
 pub use probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};

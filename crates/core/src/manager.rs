@@ -41,6 +41,18 @@
 //!    whose terminate failed would leak a service-limit slot forever;
 //!    such instances enter a worker-local orphan list retried every
 //!    batch.
+//! 5. **Supervision** — each region manager catches panics at the batch
+//!    boundary: a crash while handling one tick's events is counted
+//!    ([`LiveReport::worker_panics`]), fed to the circuit breaker, and
+//!    the worker carries on with its pending queue, recovery schedule,
+//!    and orphan list intact. Should a thread die outright anyway, the
+//!    driver strikes it from the ack rotation and the run degrades to
+//!    the surviving regions instead of aborting.
+//!
+//! The driver also tends the store's durability each tick
+//! ([`crate::store::DataStore::tend_durability`]): when disk faults
+//! degrade the durable log, heals — WAL re-establishment plus a full
+//! checkpoint — run on the driver's clock, never on an ingest path.
 //!
 //! Provider-pushed [`cloud_sim::cloud::CloudEvent::CapacityEvictionNotice`]
 //! events are recorded as free [`ProbeKind::InterruptionNotice`] records,
@@ -102,6 +114,11 @@ pub struct ResilienceConfig {
     /// How long a tripped breaker stays open before half-opening to
     /// send a trial probe.
     pub breaker_cooldown: SimDuration,
+    /// Test knob: make the worker panic on every Nth event batch, to
+    /// exercise the supervision path. `None` (the default) never
+    /// panics.
+    #[doc(hidden)]
+    pub chaos_panic_period: Option<u64>,
 }
 
 impl Default for ResilienceConfig {
@@ -113,6 +130,7 @@ impl Default for ResilienceConfig {
             max_pending: 256,
             breaker_threshold: 5,
             breaker_cooldown: SimDuration::from_secs(1800),
+            chaos_panic_period: None,
         }
     }
 }
@@ -187,6 +205,21 @@ pub struct LiveReport {
     /// Fsyncs the durable log's writer issued during this run,
     /// including the final end-of-run flush.
     pub durable_fsyncs: u64,
+    /// Worker panics the supervisors caught (the worker kept running
+    /// with its pending queue intact) plus region-manager threads that
+    /// died outright and were struck from the rotation.
+    pub worker_panics: u64,
+    /// Write/fsync errors the durable paths hit during this run (zero
+    /// for an in-memory store).
+    pub durable_io_errors: u64,
+    /// Ops the store skipped persisting while its durability was
+    /// degraded during this run (they stayed in memory until a healing
+    /// checkpoint).
+    pub durable_ops_dropped: u64,
+    /// If the store ended the run with durability still degraded: ops
+    /// at or before this time are provably on disk, later ones may be
+    /// memory-only. `None` when fully durable (or in-memory).
+    pub durability_lost: Option<SimTime>,
 }
 
 enum RegionMsg {
@@ -229,6 +262,7 @@ struct WorkerStats {
     probes_abandoned: u64,
     breaker_trips: u64,
     degraded_secs: u64,
+    worker_panics: u64,
 }
 
 /// One region manager's probing state.
@@ -257,6 +291,8 @@ struct RegionWorker {
     /// nondeterministic across thread interleavings.
     rng: SimRng,
     stats: WorkerStats,
+    /// Event batches handled so far (drives the chaos panic knob).
+    batches_handled: u64,
     /// Per-batch ack back to the driver (the lockstep backpressure).
     ack: Sender<()>,
 }
@@ -507,6 +543,12 @@ impl RegionWorker {
     }
 
     fn handle_events(&mut self, events: Vec<CloudEvent>, now: SimTime) {
+        self.batches_handled += 1;
+        if let Some(period) = self.resilience.chaos_panic_period {
+            if self.batches_handled.is_multiple_of(period) {
+                panic!("chaos: injected worker panic (region {:?})", self.region);
+            }
+        }
         self.reap_orphans(now);
         self.dispatch_due(now);
 
@@ -607,7 +649,23 @@ impl RegionWorker {
             match msg {
                 RegionMsg::Events(events, now) => {
                     last_now = now;
-                    self.handle_events(events, now);
+                    // Supervision: a panic while handling one batch
+                    // must not take the region manager down. The worker
+                    // keeps its pending queue, recovery schedule, and
+                    // orphan list; the panic is counted and fed to the
+                    // circuit breaker like any other transport-layer
+                    // failure, so a persistently-crashing region backs
+                    // off instead of crash-looping at full speed.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.handle_events(events, now)
+                    }));
+                    if outcome.is_err() {
+                        self.stats.worker_panics += 1;
+                        self.on_transport_failure(now);
+                    }
+                    // Ack even a panicked batch: the driver's lockstep
+                    // clock must never wait on a batch that will not
+                    // complete.
                     let _ = self.ack.send(());
                 }
                 RegionMsg::Shutdown => break,
@@ -637,13 +695,17 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     let durable_at_start = store.durability_stats();
     let shared: SharedCloud = Arc::new(Mutex::new(cloud));
 
-    // Region managers, writing straight into the striped store.
-    let (ack_tx, ack_rx) = channel::<()>();
+    // Region managers, writing straight into the striped store. Each
+    // worker acks on its own channel so the driver can tell *which*
+    // manager went silent if one dies outright.
     let mut region_txs: HashMap<Region, Sender<RegionMsg>> = HashMap::new();
+    let mut acks: HashMap<Region, Receiver<()>> = HashMap::new();
     let mut handles = Vec::new();
     for &region in &regions {
         let (tx, rx) = channel::<RegionMsg>();
+        let (ack_tx, ack_rx) = channel::<()>();
         region_txs.insert(region, tx);
+        acks.insert(region, ack_rx);
         let worker = RegionWorker {
             region,
             policy: config.policy.clone(),
@@ -660,11 +722,11 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             degraded_since: None,
             rng: SimRng::seed_from(0x00C0_FFEE ^ region.index() as u64),
             stats: WorkerStats::default(),
-            ack: ack_tx.clone(),
+            batches_handled: 0,
+            ack: ack_tx,
         };
         handles.push((region, thread::spawn(move || worker.run(rx))));
     }
-    drop(ack_tx);
 
     // Driver: advance the cloud, fan events out per region. The drain
     // buffer and the per-region routing map are reused across ticks;
@@ -696,13 +758,25 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             let batch = std::mem::take(per_region.get_mut(&region).expect("prebuilt"));
             let _ = tx.send(RegionMsg::Events(batch, now));
         }
-        // Lockstep: hold the clock until every region manager drained
-        // this tick's batch, so probes (and chaos faults) happen at the
-        // simulated times they were scheduled for, independent of how
-        // the OS schedules the worker threads.
-        for _ in 0..region_txs.len() {
-            ack_rx.recv().expect("a region manager died mid-run");
+        // Lockstep: hold the clock until every live region manager
+        // drained this tick's batch, so probes (and chaos faults)
+        // happen at the simulated times they were scheduled for,
+        // independent of how the OS schedules the worker threads. A
+        // manager whose thread died outright (its ack channel hung up)
+        // is struck from the rotation — the run degrades to the
+        // surviving regions instead of wedging the clock.
+        let mut dead: Vec<Region> = Vec::new();
+        for &region in region_txs.keys() {
+            if acks[&region].recv().is_err() {
+                dead.push(region);
+            }
         }
+        for region in dead {
+            region_txs.remove(&region);
+        }
+        // Durability maintenance rides the driver's clock: if the
+        // store degraded (disk faults), this is where heals run.
+        let _ = store.tend_durability();
     }
     for tx in region_txs.values() {
         let _ = tx.send(RegionMsg::Shutdown);
@@ -713,12 +787,21 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     let mut probes_abandoned = 0;
     let mut breaker_trips = 0;
     let mut degraded_secs = HashMap::new();
+    let mut worker_panics = 0;
     for (region, handle) in handles {
-        let stats = handle.join().expect("region manager panicked");
+        let stats = handle.join().unwrap_or_else(|_| {
+            // The thread died outside the supervised batch loop: its
+            // counters are lost, but the death itself is reported.
+            WorkerStats {
+                worker_panics: 1,
+                ..WorkerStats::default()
+            }
+        });
         per_region_probes.insert(region, stats.probes_issued);
         retries_issued += stats.retries_issued;
         probes_abandoned += stats.probes_abandoned;
         breaker_trips += stats.breaker_trips;
+        worker_panics += stats.worker_panics;
         if stats.degraded_secs > 0 {
             degraded_secs.insert(region, stats.degraded_secs);
         }
@@ -730,15 +813,18 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
     // flush is a no-op; a failing disk surfaces through
     // `durability_stats`, not a panic mid-report.
     let _ = store.flush();
-    let (durable_ops, durable_bytes, durable_fsyncs) =
+    let (durable_ops, durable_bytes, durable_fsyncs, durable_io_errors, durable_ops_dropped) =
         match (durable_at_start, store.durability_stats()) {
             (Some(start), Some(end)) => (
                 end.appended_ops - start.appended_ops,
                 end.appended_bytes - start.appended_bytes,
                 end.fsyncs - start.fsyncs,
+                end.io_errors - start.io_errors,
+                end.ops_dropped - start.ops_dropped,
             ),
-            _ => (0, 0, 0),
+            _ => (0, 0, 0, 0, 0),
         };
+    let durability_lost = store.durability_lost();
 
     let cloud = Arc::into_inner(shared)
         .expect("all workers joined")
@@ -756,6 +842,10 @@ pub fn run_live(cloud: Cloud, store: SharedStore, config: LiveConfig) -> (Cloud,
             durable_ops,
             durable_bytes,
             durable_fsyncs,
+            worker_panics,
+            durable_io_errors,
+            durable_ops_dropped,
+            durability_lost,
         },
     )
 }
@@ -891,6 +981,59 @@ mod tests {
         for (m, want) in markets.iter().zip(live_stats) {
             assert_eq!(r.probe_stats(*m, ProbeKind::OnDemand), want);
         }
+    }
+
+    /// Installs a panic hook that swallows the injected chaos panics
+    /// (they are expected noise here) but forwards everything else.
+    fn silence_chaos_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("");
+                if !msg.starts_with("chaos:") {
+                    default_hook(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn supervised_workers_survive_injected_panics() {
+        silence_chaos_panics();
+        let mut cloud = Cloud::new(Catalog::testbed(), SimConfig::paper(31));
+        cloud.warmup(20);
+        let store = shared_store();
+        let config = LiveConfig {
+            policy: PolicyConfig {
+                spike_threshold: 0.5,
+                ..PolicyConfig::default()
+            },
+            duration: SimDuration::days(2),
+            resilience: ResilienceConfig {
+                // Every 40th batch dies mid-flight, per region.
+                chaos_panic_period: Some(40),
+                ..ResilienceConfig::default()
+            },
+        };
+        let (cloud, report) = run_live(cloud, store.clone(), config);
+        let ticks = 2 * 86_400 / 300;
+        assert_eq!(report.ticks, ticks, "the clock never wedges");
+        let expected_panics: u64 = (ticks / 40) * report.per_region_probes.len() as u64;
+        assert_eq!(
+            report.worker_panics, expected_panics,
+            "every injected panic is caught and counted"
+        );
+        assert!(report.probes > 0, "the workers kept probing after panics");
+        assert_eq!(report.probes, store.len());
+        // The cloud came back: every worker survived to be joined.
+        assert_eq!(cloud.now().as_secs(), 20 * 300 + 2 * 86_400);
     }
 
     #[test]

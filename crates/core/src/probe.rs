@@ -11,10 +11,9 @@
 use cloud_sim::ids::MarketId;
 use cloud_sim::price::Price;
 use cloud_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Which contract a probe exercised.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProbeKind {
     /// A `run_instances` request for an on-demand server.
     OnDemand,
@@ -28,7 +27,7 @@ pub enum ProbeKind {
 }
 
 /// Why SpotLight issued a probe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProbeTrigger {
     /// The spot price spiked above the policy threshold (`RequestOnDemand`).
     PriceSpike {
@@ -96,7 +95,7 @@ impl ProbeTrigger {
 }
 
 /// What a probe learned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProbeOutcome {
     /// The request was fulfilled: the market is obtainable.
     Fulfilled,
@@ -130,7 +129,7 @@ impl ProbeOutcome {
 }
 
 /// One probe and its result — the unit record in SpotLight's database.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeRecord {
     /// When the probe was issued.
     pub at: SimTime,
@@ -151,7 +150,7 @@ pub struct ProbeRecord {
 }
 
 /// A measured unavailability interval for one market and contract.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnavailabilityInterval {
     /// The market.
     pub market: MarketId,

@@ -61,6 +61,13 @@ pub struct Freshness {
     /// live-mode circuit breaker — probes there are failing at the
     /// transport, so estimates cannot be refreshed.
     pub region_degraded: bool,
+    /// If the store's *durability* is currently degraded (disk faults
+    /// defeated the log writer's retries): observations at or before
+    /// this time are provably on disk, later ones may not survive a
+    /// crash. `None` when fully durable, including in-memory stores.
+    /// Orthogonal to `region_degraded` — the answer itself is current,
+    /// its crash-persistence is what is in doubt.
+    pub durability_lost: Option<SimTime>,
 }
 
 impl Freshness {
@@ -135,6 +142,7 @@ impl<'a> SpotLightQuery<'a> {
                 .store
                 .region_health(market.region())
                 .is_some_and(|h| h.degraded),
+            durability_lost: self.store.durability_lost(),
         }
     }
 

@@ -96,13 +96,30 @@
 //! `tests/persistence.rs`, which asserts a recovered store answers
 //! summarized queries bit-identically to one that never crashed across
 //! a torn/truncated/corrupted/duplicated fault matrix.
+//!
+//! # Runtime I/O faults and degraded mode
+//!
+//! A disk that starts failing at runtime does not panic the store and
+//! does not block ingest. After bounded in-writer retries the store
+//! drops to **degraded** mode: appends stay in memory only, a
+//! `durability_lost` watermark (the last op provably on disk) is
+//! published through [`DataStore::durability_lost`], live reports, and
+//! query freshness, and the driver's periodic
+//! [`DataStore::tend_durability`] call re-establishes the log at a
+//! fresh generation once the disk recovers — a healing checkpoint
+//! captures every op recorded while degraded. Graceful shutdown
+//! ([`DataStore::close`]) writes a clean-shutdown marker after a final
+//! checkpoint so the next recovery skips tail-scan replay entirely.
+//! The full state machine is documented in [`crate::durable`]; the
+//! kill-9 crash-torture harness (`crates/bench/src/bin/torture.rs`,
+//! driven by `scripts/torture_smoke.sh`) exercises real SIGKILLed
+//! child processes against it.
 
 use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, UnavailabilityInterval};
 use crate::sync::{RwLock, RwLockReadGuard};
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::price::Price;
 use cloud_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -184,7 +201,7 @@ pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 pub const DEFAULT_EPOCH: SimDuration = SimDuration::from_secs(3600);
 
 /// A spike observation: a published price crossing SpotLight's radar.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpikeEvent {
     /// The market that spiked.
     pub market: MarketId,
@@ -199,7 +216,7 @@ pub struct SpikeEvent {
 }
 
 /// One revocation-watch observation (the `Revocation` probing function).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RevocationRecord {
     /// The watched market.
     pub market: MarketId,
@@ -214,7 +231,7 @@ pub struct RevocationRecord {
 }
 
 /// One intrinsic-bid measurement (the `BidSpread` probing function).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntrinsicBidRecord {
     /// The market measured.
     pub market: MarketId,
@@ -351,7 +368,7 @@ pub(crate) struct Stripe {
 /// circuit breakers report it (see `crate::manager`). Degraded means
 /// the region's API was failing persistently — the region's recent
 /// observations are missing, not negative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RegionHealth {
     /// Whether the region is currently marked degraded.
     pub degraded: bool,
@@ -1170,6 +1187,12 @@ impl StoreRead<'_> {
     /// The health record of one region, if a breaker ever reported it.
     pub fn region_health(&self, region: Region) -> Option<RegionHealth> {
         self.store.region_health(region)
+    }
+
+    /// The store's durability-loss watermark, if its durable log is
+    /// currently degraded (see [`DataStore::durability_lost`]).
+    pub fn durability_lost(&self) -> Option<SimTime> {
+        self.store.durability_lost()
     }
 
     /// Regions currently marked degraded, in canonical region order.

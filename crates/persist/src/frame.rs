@@ -49,6 +49,8 @@ pub mod magic {
     pub const CHECKPOINT: [u8; 4] = *b"SLc1";
     /// Sealed spill segment.
     pub const SPILL: [u8; 4] = *b"SLs1";
+    /// Clean-shutdown marker.
+    pub const CLEAN: [u8; 4] = *b"SLk1";
 }
 
 /// A decoded frame: its sequence number and opaque body.

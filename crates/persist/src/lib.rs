@@ -17,6 +17,10 @@
 //! * [`codec`] — [`codec::Encode`]/[`codec::Decode`] for primitives and
 //!   the `cloud-sim` id/time/price/error types, little-endian,
 //!   length-prefixed where variable;
+//! * [`disk`] — the injectable disk-I/O layer ([`disk::DiskIo`]):
+//!   [`disk::RealDisk`] in production, the deterministic
+//!   [`disk::FaultyDisk`] (seeded ENOSPC/EIO/fsync-failure schedules)
+//!   under test, so runtime disk faults are first-class events;
 //! * [`frame`] — the versioned record frame
 //!   `[len:u32][crc:u32][seq:u64 ++ payload]` and a scanner that stops
 //!   at the first torn, truncated, or corrupt frame (prefix-valid
@@ -37,6 +41,7 @@
 
 pub mod codec;
 pub mod crc;
+pub mod disk;
 pub mod fault;
 pub mod frame;
 pub mod log;
@@ -44,5 +49,6 @@ pub mod tempdir;
 pub mod wal;
 
 pub use codec::{Decode, DecodeError, Encode, Reader};
-pub use log::{LogDir, LogDirMeta};
+pub use disk::{DiskIo, FaultKind, FaultProfile, FaultWindow, FaultyDisk, RealDisk};
+pub use log::{CleanMarker, LogDir, LogDirMeta};
 pub use wal::{FsyncPolicy, WalConfig, WalHandle, WalStats};

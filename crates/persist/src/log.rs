@@ -18,22 +18,41 @@
 //! * Old WAL generations are deleted only *after* the checkpoint that
 //!   supersedes them is durable.
 
+use crate::disk::{DiskIo, RealDisk};
 use crate::frame::{self, magic, ScanEnd, ScanResult};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const HEADER_FILE: &str = "header";
 const CHECKPOINT_FILE: &str = "checkpoint";
+const CLEAN_FILE: &str = "clean";
 /// Checkpoint sections are split into frames of at most this many
 /// bytes, so a section (one stripe's full state) may exceed
 /// [`frame::MAX_FRAME`] without overflowing a frame.
 const CHECKPOINT_CHUNK: usize = 1 << 24;
 
 /// A handle on a persistent store directory.
+///
+/// All data writes and fsyncs flow through the directory's [`DiskIo`]
+/// (the real filesystem by default; swap in a
+/// [`crate::disk::FaultyDisk`] via [`LogDir::with_io`] to test runtime
+/// disk faults).
 #[derive(Debug, Clone)]
 pub struct LogDir {
     root: PathBuf,
+    io: Arc<dyn DiskIo>,
+}
+
+/// What a clean-shutdown marker recorded: enough to prove the WAL tail
+/// needs no replay scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanMarker {
+    /// The next sequence number the closed store would have assigned.
+    pub next_seq: u64,
+    /// The WAL generation current when the store closed.
+    pub generation: u64,
 }
 
 /// Metadata read back from a directory's header file.
@@ -58,6 +77,7 @@ impl LogDir {
         fs::create_dir_all(root)?;
         let dir = LogDir {
             root: root.to_path_buf(),
+            io: Arc::new(RealDisk),
         };
         if dir.root.join(HEADER_FILE).exists() {
             return Err(io::Error::new(
@@ -85,6 +105,7 @@ impl LogDir {
     pub fn open(root: &Path) -> io::Result<(LogDir, LogDirMeta)> {
         let dir = LogDir {
             root: root.to_path_buf(),
+            io: Arc::new(RealDisk),
         };
         // A crash between a temp write and its rename leaves a stale
         // `*.tmp` behind; checkpoint.tmp would be truncated by the next
@@ -127,6 +148,20 @@ impl LogDir {
         &self.root
     }
 
+    /// Replaces the disk-I/O layer (e.g. with a
+    /// [`crate::disk::FaultyDisk`]). Handles cloned *after* this call
+    /// — including the WAL writer thread's — share the new layer.
+    #[must_use]
+    pub fn with_io(mut self, io: Arc<dyn DiskIo>) -> LogDir {
+        self.io = io;
+        self
+    }
+
+    /// The disk-I/O layer every write and fsync goes through.
+    pub fn io(&self) -> &Arc<dyn DiskIo> {
+        &self.io
+    }
+
     /// Path of one WAL generation file.
     pub fn wal_path(&self, generation: u64, stream: u32) -> PathBuf {
         self.root
@@ -144,10 +179,16 @@ impl LogDir {
             .create(true)
             .append(true)
             .open(self.wal_path(generation, stream))?;
-        if file.metadata()?.len() == 0 {
+        let len = file.metadata()?.len();
+        if len < frame::HEADER_LEN as u64 {
+            // Either brand new, or a previous writer died mid-header:
+            // truncate the partial header and write a whole one.
+            if len > 0 {
+                file.set_len(0)?;
+            }
             let mut header = Vec::with_capacity(frame::HEADER_LEN);
             frame::write_header(&mut header, magic::WAL);
-            file.write_all(&header)?;
+            self.io.write_all(&mut file, &header)?;
         }
         Ok(file)
     }
@@ -183,9 +224,19 @@ impl LogDir {
     ///
     /// # Errors
     ///
-    /// Fails only on filesystem errors or a damaged *file header*.
+    /// Fails only on filesystem errors or a damaged *file header*. A
+    /// file shorter than one header — e.g. created by a process killed
+    /// between `open` and the header write — is not an error: it is a
+    /// fully torn tail holding zero frames.
     pub fn read_wal(&self, generation: u64, stream: u32) -> io::Result<ScanResult> {
         let bytes = fs::read(self.wal_path(generation, stream))?;
+        if bytes.len() < frame::HEADER_LEN {
+            return Ok(ScanResult {
+                frames: Vec::new(),
+                end: ScanEnd::Truncated,
+                valid_len: 0,
+            });
+        }
         let body = frame::strip_header(&bytes, magic::WAL).map_err(corrupt)?;
         Ok(frame::scan(body))
     }
@@ -330,6 +381,69 @@ impl LogDir {
         Ok(scanned.frames.into_iter().map(|f| f.body).collect())
     }
 
+    /// Atomically writes the clean-shutdown marker: proof that the WAL
+    /// was drained, a final checkpoint taken, and nothing appended
+    /// since. A restart that finds a marker consistent with the
+    /// checkpoint may skip the WAL tail scan entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error no marker is visible.
+    pub fn write_clean_marker(&self, marker: CleanMarker) -> io::Result<()> {
+        let mut body = Vec::new();
+        frame::write_header(&mut body, magic::CLEAN);
+        let mut section = Vec::with_capacity(16);
+        section.extend_from_slice(&marker.next_seq.to_le_bytes());
+        section.extend_from_slice(&marker.generation.to_le_bytes());
+        frame::write_frame(&mut body, 0, &section);
+        self.write_atomic(CLEAN_FILE, &body)
+    }
+
+    /// Reads the clean-shutdown marker, if any. A malformed marker is
+    /// reported as absent, not an error: falling back to the full tail
+    /// scan is always safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the marker being absent.
+    pub fn read_clean_marker(&self) -> io::Result<Option<CleanMarker>> {
+        let bytes = match fs::read(self.root.join(CLEAN_FILE)) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err),
+        };
+        let Ok(body) = frame::strip_header(&bytes, magic::CLEAN) else {
+            return Ok(None);
+        };
+        let scanned = frame::scan(body);
+        if scanned.end != ScanEnd::Clean || scanned.frames.len() != 1 {
+            return Ok(None);
+        }
+        let section = &scanned.frames[0].body;
+        if section.len() != 16 {
+            return Ok(None);
+        }
+        Ok(Some(CleanMarker {
+            next_seq: u64::from_le_bytes(section[..8].try_into().expect("sized")),
+            generation: u64::from_le_bytes(section[8..].try_into().expect("sized")),
+        }))
+    }
+
+    /// Removes the clean-shutdown marker. Recovery does this *before*
+    /// reopening the store, so a later unclean death can never reuse a
+    /// stale marker to skip replay it actually needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; an already-absent marker is fine.
+    pub fn remove_clean_marker(&self) -> io::Result<()> {
+        match fs::remove_file(self.root.join(CLEAN_FILE)) {
+            Ok(()) => Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(err) => Err(err),
+        }
+    }
+
     /// Total bytes of every file in the directory — the store's
     /// on-disk footprint.
     ///
@@ -365,12 +479,12 @@ impl LogDir {
         let tmp = self.root.join(format!("{name}.tmp"));
         {
             let mut file = File::create(&tmp)?;
-            file.write_all(bytes)?;
-            file.sync_data()?;
+            self.io.write_all(&mut file, bytes)?;
+            self.io.sync_data(&file)?;
         }
         fs::rename(&tmp, self.root.join(name))?;
         // Make the rename itself durable.
-        File::open(&self.root)?.sync_data()?;
+        self.io.sync_data(&File::open(&self.root)?)?;
         Ok(())
     }
 }
@@ -452,6 +566,120 @@ mod tests {
         // The swept name is free again for a real spill.
         dir.write_spill(0, &[b"a".to_vec()]).expect("spill");
         assert_eq!(dir.list_spills().expect("list"), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn clean_marker_round_trips_and_removes() {
+        let tmp = TempDir::new("logdir-clean");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        assert_eq!(dir.read_clean_marker().expect("absent"), None);
+        let marker = CleanMarker {
+            next_seq: 42,
+            generation: 7,
+        };
+        dir.write_clean_marker(marker).expect("write");
+        assert_eq!(dir.read_clean_marker().expect("present"), Some(marker));
+        dir.remove_clean_marker().expect("remove");
+        assert_eq!(dir.read_clean_marker().expect("absent again"), None);
+        // Removing an absent marker is not an error.
+        dir.remove_clean_marker().expect("idempotent");
+    }
+
+    #[test]
+    fn malformed_clean_marker_reads_as_absent() {
+        let tmp = TempDir::new("logdir-clean-bad");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        std::fs::write(tmp.path().join("clean"), b"garbage").expect("write");
+        assert_eq!(dir.read_clean_marker().expect("lenient"), None);
+    }
+
+    #[test]
+    fn short_wal_file_scans_as_fully_torn() {
+        // A process killed between creating a generation file and
+        // writing its header leaves a short (even empty) file; recovery
+        // must see zero frames, not a hard error.
+        let tmp = TempDir::new("logdir-short-wal");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        std::fs::write(dir.wal_path(3, 0), b"").expect("empty");
+        let scanned = dir.read_wal(3, 0).expect("lenient");
+        assert!(scanned.frames.is_empty());
+        assert_eq!(scanned.end, ScanEnd::Truncated);
+        std::fs::write(dir.wal_path(4, 0), b"SLw").expect("partial header");
+        assert!(dir.read_wal(4, 0).expect("lenient").frames.is_empty());
+    }
+
+    #[test]
+    fn open_missing_directory_is_a_clean_error() {
+        let tmp = TempDir::new("logdir-missing");
+        let gone = tmp.path().join("never-created");
+        let err = LogDir::open(&gone).expect_err("no directory");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn open_path_that_is_a_file_is_a_clean_error() {
+        let tmp = TempDir::new("logdir-file-root");
+        let path = tmp.path().join("plain-file");
+        std::fs::write(&path, b"not a directory").expect("write");
+        assert!(LogDir::open(&path).is_err());
+    }
+
+    #[test]
+    fn open_with_corrupt_header_is_a_clean_error() {
+        let tmp = TempDir::new("logdir-bad-header");
+        let _ = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        std::fs::write(tmp.path().join("header"), b"XXXXXXXXXXXX").expect("damage");
+        let err = LogDir::open(tmp.path()).expect_err("bad magic");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::write(tmp.path().join("header"), b"SL").expect("truncate");
+        let err = LogDir::open(tmp.path()).expect_err("short header");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn directory_disappearing_mid_use_is_a_clean_error() {
+        let tmp = TempDir::new("logdir-vanish");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        std::fs::remove_dir_all(tmp.path()).expect("vanish");
+        assert!(dir.list_wal().is_err());
+        assert!(dir.list_spills().is_err());
+        assert!(dir.write_checkpoint(&[b"meta".to_vec()]).is_err());
+        assert!(dir.write_spill(0, &[b"a".to_vec()]).is_err());
+        assert!(dir.disk_bytes().is_err());
+        // Reopening also fails cleanly, and leaves no recreated state.
+        assert!(LogDir::open(tmp.path()).is_err());
+        assert!(!tmp.path().exists());
+        std::fs::create_dir_all(tmp.path()).expect("restore for TempDir drop");
+    }
+
+    #[test]
+    fn unreadable_directory_and_checkpoint_fail_cleanly() {
+        // chmod 000 does not stop root, so assert "clean error, no
+        // panic" and only check the error kind when the process is
+        // actually denied.
+        use std::os::unix::fs::PermissionsExt as _;
+        let tmp = TempDir::new("logdir-perms");
+        let dir = LogDir::create(tmp.path(), 1, &[]).expect("create");
+        dir.write_checkpoint(&[b"meta".to_vec()]).expect("ckpt");
+        let lock = |path: &Path| {
+            std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o000)).expect("chmod")
+        };
+        let unlock = |path: &Path| {
+            std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o755)).expect("chmod")
+        };
+        lock(&tmp.path().join("checkpoint"));
+        match dir.read_checkpoint() {
+            Ok(Some(_)) => {} // running as root: permissions are advisory
+            Ok(None) => panic!("checkpoint exists"),
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::PermissionDenied),
+        }
+        unlock(&tmp.path().join("checkpoint"));
+        lock(tmp.path());
+        match LogDir::open(tmp.path()) {
+            Ok(_) => {}
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::PermissionDenied),
+        }
+        unlock(tmp.path());
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Kill-9 crash-torture smoke for the verify path: forks real child
+# processes doing durable ingest, SIGKILLs each one at a scheduled
+# point (mid-append, mid-checkpoint, mid-spill; >=21 kills total with
+# every phase hit), recovers in the parent, and verifies the survivors
+# bit-identically against the child's last acked watermark. Finishes
+# with clean-shutdown rounds asserting a zero-replay restart.
+#
+# The kill points, op streams, and verification twins all come from the
+# seed, so a failure reproduces with the same invocation.
+#
+# Usage:
+#   scripts/torture_smoke.sh [seed]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-61637}"
+
+echo "== torture smoke: building release torture harness =="
+cargo build --release -p spotlight-bench --bin torture
+
+echo "== torture smoke: kill -9 rounds (seed ${SEED}) =="
+./target/release/torture "${SEED}"
+
+echo "torture smoke: OK"

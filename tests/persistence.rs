@@ -12,15 +12,18 @@ use cloud_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 use spotlight_core::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
 use spotlight_core::store::{DataStore, SpikeEvent};
-use spotlight_core::{DurableOptions, FsyncPolicy};
+use spotlight_core::{DurabilityMode, DurableOptions, FsyncPolicy};
 use spotlight_persist::tempdir::TempDir;
-use spotlight_persist::{fault, LogDir};
+use spotlight_persist::{fault, DiskIo, FaultKind, FaultProfile, FaultyDisk, LogDir};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Fast writer options for tests: no fsync, ample queue.
 fn opts() -> DurableOptions {
     DurableOptions {
         fsync: FsyncPolicy::Never,
         queue_capacity: 4096,
+        ..DurableOptions::default()
     }
 }
 
@@ -173,6 +176,141 @@ proptest! {
         drop(recovered);
         let again = DataStore::recover(&dir).unwrap();
         prop_assert_eq!(again.len() as u64, survivors + 1);
+    }
+}
+
+/// Flat-file snapshot of a store directory, taken to model a crash at
+/// this instant: recovery then runs against the copy while the live
+/// store keeps going.
+fn snapshot_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The degraded-durability contract under a *seeded* ENOSPC/EIO
+    // schedule: whenever the store publishes a `durability_lost`
+    // watermark, a crash at that instant must still recover every op at
+    // or before the watermark (and the survivors must be an exact
+    // prefix of the stream); afterwards `tend_durability` must heal the
+    // store onto a fresh WAL generation with nothing lost at all.
+    #[test]
+    fn seeded_fault_schedule_degrades_heals_and_keeps_the_watermark(
+        seed in any::<u64>(),
+        n_ops in 60u64..140,
+        mean_gap in 600u64..4_000,
+        mean_len in 260u64..1_400,
+    ) {
+        let m = market(0);
+        let profile = FaultProfile {
+            mean_gap,
+            mean_len,
+            windows: 3,
+            kinds: vec![FaultKind::WriteEnospc, FaultKind::WriteEio],
+        };
+        let io = Arc::new(FaultyDisk::seeded(seed, &profile));
+        let tmp = TempDir::new("seeded-degrade-heal");
+        let dir = tmp.path().join("store");
+        let store = DataStore::create_durable_with_layout(
+            &dir,
+            DurableOptions {
+                io: Some(io.clone() as Arc<dyn DiskIo>),
+                heal_retry_base: Duration::ZERO,
+                ..opts()
+            },
+            1,
+            SimDuration::from_secs(3600),
+        )
+        .unwrap();
+
+        let mut crash_checked = false;
+        for i in 0..n_ops {
+            store.record_probe(probe_at(i, m));
+            // Flushes fail while a fault window is active; the sink is
+            // expected to absorb that, not ingest.
+            let _ = store.flush();
+            if let Some(w) = store.durability_lost() {
+                if !crash_checked {
+                    crash_checked = true;
+                    // Crash NOW: the published watermark is a promise
+                    // about what is already on disk.
+                    let crash_dir = tmp.path().join("crash");
+                    snapshot_dir(&dir, &crash_dir);
+                    let crashed = DataStore::recover(&crash_dir).unwrap();
+                    let covered = (0..=i)
+                        .filter(|j| probe_at(*j, m).at <= w)
+                        .count();
+                    prop_assert!(
+                        crashed.len() >= covered,
+                        "watermark {w:?} promised {covered} ops, \
+                         recovery found {}",
+                        crashed.len()
+                    );
+                    let twin = DataStore::with_layout(1, SimDuration::from_secs(3600));
+                    for j in 0..crashed.len() as u64 {
+                        twin.record_probe(probe_at(j, m));
+                    }
+                    assert_same_summaries(&crashed, &twin, &[m]);
+                }
+                // With the crash point audited, let the driver's clock
+                // tick: heals may fail into backoff and retry.
+                let _ = store.tend_durability();
+            }
+        }
+
+        // The schedule is finite, so tending must converge on Durable.
+        let mut tends = 0;
+        while store.durability_mode() != Some(DurabilityMode::Durable) {
+            let _ = store.tend_durability();
+            tends += 1;
+            prop_assert!(tends < 200, "heal never converged: {:?}",
+                store.durability_stats());
+        }
+        prop_assert_eq!(store.durability_lost(), None);
+        let stats = store.durability_stats().unwrap();
+        prop_assert_eq!(crash_checked, stats.degraded_transitions > 0);
+        if stats.degraded_transitions > 0 {
+            prop_assert!(stats.heals >= 1, "degraded but never healed");
+            prop_assert!(stats.io_errors >= 3, "retries consumed faults");
+        }
+
+        // Post-heal, the store is a normal durable store again: one
+        // more op, a clean close, and a zero-replay recovery seeing
+        // every op ever applied in memory (the healing checkpoint
+        // captured the ones the degraded WAL dropped).
+        store.record_probe(probe_at(n_ops, m));
+        store.close().unwrap();
+        let (full, info) = DataStore::recover_with_report(
+            &dir,
+            DurableOptions::default(),
+        )
+        .unwrap();
+        prop_assert!(info.from_clean_shutdown, "close wrote the marker");
+        prop_assert_eq!(info.replayed_ops, 0, "clean restart replays nothing");
+        prop_assert_eq!(full.len() as u64, n_ops + 1);
+        let twin = DataStore::with_layout(1, SimDuration::from_secs(3600));
+        for j in 0..=n_ops {
+            twin.record_probe(probe_at(j, m));
+        }
+        assert_same_summaries(&full, &twin, &[m]);
+
+        // A heal re-establishes the log at a *fresh* generation; its
+        // checkpoint prunes the generations the degraded WAL abandoned.
+        if stats.degraded_transitions > 0 {
+            let (log, _) = LogDir::open(&dir).unwrap();
+            let gens = log.list_wal().unwrap();
+            prop_assert!(
+                gens.iter().all(|&(generation, _)| generation >= 1),
+                "healed store still appending to generation 0: {gens:?}"
+            );
+        }
     }
 }
 
