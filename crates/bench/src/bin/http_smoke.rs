@@ -1,0 +1,294 @@
+//! End-to-end smoke test of the HTTP query service against a durable
+//! store: concurrent clients, hostile clients (slow-loris, oversized,
+//! malformed), and a mid-flight graceful drain that must leave the
+//! store closed cleanly (zero-replay restart).
+//!
+//! Run via `scripts/http_smoke.sh` (part of the verify path). Exits
+//! non-zero on the first violated invariant; prints one `ok <what>`
+//! line per section.
+
+use cloud_sim::time::SimTime;
+use spotlight_bench::feed_synthetic_spaced;
+use spotlight_core::durable::{DurableOptions, FsyncPolicy};
+use spotlight_core::snapshot::SnapshotHub;
+use spotlight_core::store::{DataStore, SharedStore};
+use spotlight_persist::tempdir::TempDir;
+use spotlight_serve::client::Client;
+use spotlight_serve::parser::Limits;
+use spotlight_serve::server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Probes fed into the durable store (~42 simulated hours at 3 s).
+const RECORDS: u64 = 50_000;
+const SPACING: u64 = 3;
+/// Well-behaved concurrent clients and requests each.
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 200;
+
+const PATHS: [&str; 8] = [
+    "/v1/availability?market=us-east-1a/c3.large/linux&kind=od",
+    "/v1/availability?market=us-east-1b/c3.xlarge/linux&kind=spot",
+    "/v1/freshness?market=us-east-1a/c3.large/linux",
+    "/v1/spike-rates?thresholds=1.25,2,5&window_secs=3600",
+    "/v1/bid-spread?market=us-east-1a/c3.large/linux",
+    "/v1/advisor/top?region=us-east-1&n=5",
+    "/v1/advisor/fallbacks?market=us-east-1a/c3.large/linux&n=3",
+    "/healthz",
+];
+
+fn ok(what: &str) {
+    println!("ok {what}");
+}
+
+/// Raw request → (status, closed). Accepts early close as status 0.
+fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(bytes).expect("write raw request");
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                response.extend_from_slice(&chunk[..n]);
+                if response.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    let head = String::from_utf8_lossy(&response);
+    head.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let tmp = TempDir::new("http-smoke");
+    let dir = tmp.path().join("store");
+
+    // ---- seed a durable store and publish a snapshot ----
+    let store = DataStore::create_durable(
+        &dir,
+        DurableOptions {
+            fsync: FsyncPolicy::Never,
+            queue_capacity: 65_536,
+            ..DurableOptions::default()
+        },
+    )
+    .expect("create durable store");
+    feed_synthetic_spaced(&store, RECORDS, SPACING);
+    store.flush().expect("flush");
+    let store: SharedStore = Arc::new(store);
+    let as_of = SimTime::from_secs(RECORDS * SPACING);
+    let hub = Arc::new(SnapshotHub::new(store.snapshot(as_of)));
+    ok("seeded durable store");
+
+    let config = ServerConfig {
+        workers: 3,
+        queue_depth: 64,
+        max_connections: 64,
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(500),
+        header_deadline: Duration::from_millis(600),
+        limits: Limits::default(),
+        ..ServerConfig::default()
+    };
+    let header_deadline = config.header_deadline;
+    let server =
+        Server::start("127.0.0.1:0", &store, Arc::clone(&hub), config).expect("start server");
+    let addr = server.local_addr();
+
+    // ---- readiness up front ----
+    let mut client = Client::connect(addr, Duration::from_secs(2)).expect("connect");
+    let resp = client.get("/readyz").expect("readyz");
+    assert_eq!(resp.status, 200, "readyz before drain: {}", resp.body);
+    assert!(resp.body.contains("\"ready\":true"), "{}", resp.body);
+    let resp = client.get("/healthz").expect("healthz");
+    assert!(
+        resp.body.contains("\"available\":true"),
+        "healthz must see the live store: {}",
+        resp.body
+    );
+    ok("healthz/readyz surface the live store");
+
+    // ---- concurrent well-behaved clients over every endpoint ----
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+            for i in 0..REQUESTS_PER_CLIENT {
+                let path = PATHS[(t + i) % PATHS.len()];
+                let resp = client.get(path).expect("request");
+                assert_eq!(
+                    resp.status, 200,
+                    "GET {path} -> {} {}",
+                    resp.status, resp.body
+                );
+                assert!(
+                    resp.body.starts_with('{'),
+                    "GET {path}: non-JSON body {}",
+                    resp.body
+                );
+            }
+        }));
+    }
+
+    // ---- hostile clients, concurrently with the load above ----
+    // Malformed / unsupported / oversized each get the right status.
+    assert_eq!(raw_roundtrip(addr, b"GARBAGE\r\n\r\n"), 400, "malformed");
+    assert_eq!(
+        raw_roundtrip(addr, b"POST /v1/availability HTTP/1.1\r\n\r\n"),
+        405,
+        "method not allowed"
+    );
+    assert_eq!(
+        raw_roundtrip(addr, b"GET / HTTP/2.0\r\n\r\n"),
+        505,
+        "version not supported"
+    );
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(4096));
+    assert_eq!(
+        raw_roundtrip(addr, long_line.as_bytes()),
+        414,
+        "uri too long"
+    );
+    let big_headers = format!(
+        "GET /healthz HTTP/1.1\r\n{}\r\n",
+        "X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n".repeat(300)
+    );
+    assert_eq!(
+        raw_roundtrip(addr, big_headers.as_bytes()),
+        431,
+        "headers too large"
+    );
+    let oversized_body = "GET /healthz HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+    assert_eq!(
+        raw_roundtrip(addr, oversized_body.as_bytes()),
+        413,
+        "body too large"
+    );
+    assert_eq!(
+        raw_roundtrip(addr, b"GET /no/such/route HTTP/1.1\r\n\r\n"),
+        404,
+        "unknown route"
+    );
+    assert_eq!(
+        raw_roundtrip(addr, b"GET /v1/availability?market=bogus HTTP/1.1\r\n\r\n"),
+        400,
+        "bad market parameter"
+    );
+    ok("hostile inputs answered with the right statuses");
+
+    // Slow-loris: dribble a header forever; the deadline must cut it
+    // off with 408 well before it completes.
+    let loris = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect loris");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let started = Instant::now();
+        let _ = stream.write_all(b"GET /healthz HTT");
+        // Keep dribbling until the server gives up on us.
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+            if stream.write_all(b"P").is_err() {
+                break; // server already closed
+            }
+            let mut chunk = [0u8; 512];
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+            match stream.read(&mut chunk) {
+                Ok(n) if n > 0 => {
+                    let head = String::from_utf8_lossy(&chunk[..n]).to_string();
+                    assert!(
+                        head.starts_with("HTTP/1.1 408"),
+                        "slow-loris got {head:?}, wanted 408"
+                    );
+                    return started.elapsed();
+                }
+                Ok(_) => break, // clean close
+                Err(_) => {}    // still waiting
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(8),
+                "slow-loris connection neither answered nor closed"
+            );
+        }
+        started.elapsed()
+    });
+    let loris_lived = loris.join().expect("slow-loris thread");
+    assert!(
+        loris_lived >= header_deadline / 2,
+        "slow-loris cut off suspiciously early ({loris_lived:?})"
+    );
+    ok("slow-loris cut off by the header deadline");
+
+    for h in handles {
+        h.join().expect("well-behaved client");
+    }
+    ok("concurrent clients all served");
+
+    // ---- mid-flight drain: in-flight requests finish, then close ----
+    let inflight = std::thread::spawn(move || {
+        let mut served = 0u32;
+        let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+        loop {
+            match client.get("/v1/spike-rates") {
+                Ok(resp) if resp.status == 200 => served += 1,
+                Ok(resp) => {
+                    // Drain rejection must advertise backoff.
+                    assert_eq!(resp.status, 503, "{}", resp.body);
+                    assert!(resp.header("retry-after").is_some());
+                    break;
+                }
+                Err(_) => break, // server closed the connection
+            }
+        }
+        served
+    });
+    // One hostile straggler mid-drain: drain must not wait for it
+    // beyond the header deadline.
+    let mut straggler = TcpStream::connect(addr).expect("connect straggler");
+    straggler
+        .write_all(b"GET /healthz HT")
+        .expect("partial head");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let report = server.drain(Duration::from_secs(10));
+    assert!(!report.forced, "drain hit the deadline: {:?}", report.stats);
+    assert_eq!(
+        report.stats.responses_5xx, 0,
+        "handler 5xx: {:?}",
+        report.stats
+    );
+    assert_eq!(report.stats.panics, 0, "worker panics: {:?}", report.stats);
+    let served = inflight.join().expect("in-flight client");
+    assert!(served > 0, "in-flight client never got an answer");
+    drop(straggler);
+
+    // New connections must now be refused outright.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener still accepting after drain"
+    );
+    ok("graceful drain finished in-flight work and stopped the listener");
+
+    // ---- zero-replay restart: drain left us the last strong Arc ----
+    let store = Arc::try_unwrap(store).expect("server must not retain the store");
+    store.close().expect("clean close");
+    let (reopened, info) =
+        DataStore::recover_with_report(&dir, DurableOptions::default()).expect("recover");
+    assert_eq!(info.replayed_ops, 0, "clean shutdown must not replay");
+    assert!(info.from_clean_shutdown, "close marker missing");
+    assert_eq!(reopened.read().len(), RECORDS as usize, "records lost");
+    ok("drained store closed cleanly: zero-replay restart");
+
+    println!("http_smoke: all sections passed");
+}

@@ -16,7 +16,6 @@ use crate::stats::{BucketedRate, Ecdf};
 use crate::store::StoreRead;
 use cloud_sim::ids::{Family, MarketId, Region};
 use cloud_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The paper's spike-size thresholds: ≥0×, ≥1×, …, ≥10× on-demand.
@@ -36,7 +35,7 @@ pub fn spot_ratio_buckets() -> Vec<f64> {
 }
 
 /// One point of a probability-vs-spike-size curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurvePoint {
     /// The spike threshold (≥ this multiple of on-demand).
     pub threshold: f64,
@@ -351,7 +350,7 @@ pub fn spot_cna_distribution(store: &StoreRead<'_>) -> (Vec<f64>, HashMap<Region
 }
 
 /// The four relations of Figure 5.12.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CrossRelation {
     /// On-demand detection → related on-demand unavailability.
     OdOd,

@@ -13,10 +13,9 @@ use cloud_sim::cloud::Cloud;
 use cloud_sim::ids::MarketId;
 use cloud_sim::lifecycle::SpotRequestState;
 use cloud_sim::price::Price;
-use serde::{Deserialize, Serialize};
 
 /// Result of one intrinsic-bid search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BidSearch {
     /// The published price the search started from.
     pub published: Price,

@@ -10,10 +10,9 @@
 
 use cloud_sim::price::Price;
 use cloud_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Budget configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetConfig {
     /// Window length over which the budget applies.
     pub window: SimDuration,
@@ -32,7 +31,7 @@ impl Default for BudgetConfig {
 }
 
 /// Windowed budget accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetManager {
     config: BudgetConfig,
     window_start: SimTime,
@@ -104,7 +103,7 @@ impl BudgetManager {
 }
 
 /// Historical spike statistics for one candidate threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpikeRate {
     /// The candidate threshold (spot/od multiple).
     pub threshold: f64,
@@ -113,7 +112,7 @@ pub struct SpikeRate {
 }
 
 /// A calibrated probing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// The chosen trigger threshold `T`.
     pub threshold: f64,

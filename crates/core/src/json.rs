@@ -1,0 +1,410 @@
+//! A minimal in-tree JSON writer — the serialization the HTTP service
+//! and report surfaces actually need, instead of the serde
+//! derive-marker shim (`crates/shims/serde`) the offline container
+//! forced on the report/config types.
+//!
+//! The writer is string-building only (no reader): escaped keys and
+//! strings, `u64`/`i64`/`f64`/bool/null scalars (non-finite floats
+//! serialize as `null` — JSON has no `NaN`), and closure-scoped nested
+//! objects and arrays. [`ToJson`] is implemented here for the
+//! report types responses are built from ([`AvailabilityStats`],
+//! [`Freshness`], [`DurabilityStats`], [`RecoveryInfo`],
+//! [`RegionHealth`], [`LiveReport`]); `crates/serve` composes them
+//! into response bodies with the same builders.
+
+use crate::durable::{DurabilityMode, DurabilityStats, RecoveryInfo};
+use crate::manager::LiveReport;
+use crate::query::{AvailabilityStats, Freshness};
+use crate::store::RegionHealth;
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).expect("hex digit"));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `Display` for finite floats is shortest round-trip and always
+        // a valid JSON number (no exponent-less `inf`/`NaN` forms).
+        let start = out.len();
+        out.push_str(&format!("{v}"));
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes one JSON object into `out` via the closure.
+pub fn object(out: &mut String, f: impl FnOnce(&mut Object<'_>)) {
+    out.push('{');
+    let mut obj = Object { out, first: true };
+    f(&mut obj);
+    out.push('}');
+}
+
+/// Writes one JSON array into `out` via the closure.
+pub fn array(out: &mut String, f: impl FnOnce(&mut Array<'_>)) {
+    out.push('[');
+    let mut arr = Array { out, first: true };
+    f(&mut arr);
+    out.push(']');
+}
+
+/// An in-progress JSON object; each method appends one key/value pair.
+#[derive(Debug)]
+pub struct Object<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl Object<'_> {
+    fn key(&mut self, key: &str) -> &mut String {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_str(self.out, key);
+        self.out.push(':');
+        self.out
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, v: u64) {
+        let out = self.key(key);
+        out.push_str(&v.to_string());
+    }
+
+    /// Appends a signed integer field.
+    pub fn i64(&mut self, key: &str, v: i64) {
+        let out = self.key(key);
+        out.push_str(&v.to_string());
+    }
+
+    /// Appends a float field (`null` when non-finite).
+    pub fn f64(&mut self, key: &str, v: f64) {
+        let out = self.key(key);
+        write_f64(out, v);
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) {
+        let out = self.key(key);
+        out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, v: &str) {
+        let out = self.key(key);
+        write_str(out, v);
+    }
+
+    /// Appends an explicit `null` field.
+    pub fn null(&mut self, key: &str) {
+        let out = self.key(key);
+        out.push_str("null");
+    }
+
+    /// Appends an integer-or-`null` field.
+    pub fn opt_u64(&mut self, key: &str, v: Option<u64>) {
+        match v {
+            Some(v) => self.u64(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Appends a string-or-`null` field.
+    pub fn opt_str(&mut self, key: &str, v: Option<&str>) {
+        match v {
+            Some(v) => self.str(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Appends a nested object field.
+    pub fn object(&mut self, key: &str, f: impl FnOnce(&mut Object<'_>)) {
+        let out = self.key(key);
+        object(out, f);
+    }
+
+    /// Appends a nested array field.
+    pub fn array(&mut self, key: &str, f: impl FnOnce(&mut Array<'_>)) {
+        let out = self.key(key);
+        array(out, f);
+    }
+
+    /// Appends a field whose value is `v`'s [`ToJson`] serialization.
+    pub fn value(&mut self, key: &str, v: &impl ToJson) {
+        let out = self.key(key);
+        v.write_json(out);
+    }
+}
+
+/// An in-progress JSON array; each method appends one element.
+#[derive(Debug)]
+pub struct Array<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl Array<'_> {
+    fn elem(&mut self) -> &mut String {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn u64(&mut self, v: u64) {
+        let out = self.elem();
+        out.push_str(&v.to_string());
+    }
+
+    /// Appends a float element (`null` when non-finite).
+    pub fn f64(&mut self, v: f64) {
+        let out = self.elem();
+        write_f64(out, v);
+    }
+
+    /// Appends a string element.
+    pub fn str(&mut self, v: &str) {
+        let out = self.elem();
+        write_str(out, v);
+    }
+
+    /// Appends an object element.
+    pub fn object(&mut self, f: impl FnOnce(&mut Object<'_>)) {
+        let out = self.elem();
+        object(out, f);
+    }
+
+    /// Appends an element from `v`'s [`ToJson`] serialization.
+    pub fn value(&mut self, v: &impl ToJson) {
+        let out = self.elem();
+        v.write_json(out);
+    }
+}
+
+/// Types that know their own JSON form.
+pub trait ToJson {
+    /// Appends the value's JSON form to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// The value's JSON form as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+impl ToJson for AvailabilityStats {
+    fn write_json(&self, out: &mut String) {
+        object(out, |o| {
+            o.u64("probes", self.probes);
+            o.u64("rejections", self.rejections);
+            o.f64("unavailable_fraction", self.unavailable_fraction);
+            o.f64("availability", self.availability());
+            o.u64("intervals", self.intervals);
+        });
+    }
+}
+
+impl ToJson for Freshness {
+    fn write_json(&self, out: &mut String) {
+        object(out, |o| {
+            o.opt_u64(
+                "last_informative_secs",
+                self.last_informative.map(|t| t.as_secs()),
+            );
+            o.opt_u64("age_secs", self.age.map(|a| a.as_secs()));
+            o.bool("region_degraded", self.region_degraded);
+            o.opt_u64(
+                "durability_lost_secs",
+                self.durability_lost.map(|t| t.as_secs()),
+            );
+        });
+    }
+}
+
+impl ToJson for DurabilityMode {
+    fn write_json(&self, out: &mut String) {
+        write_str(
+            out,
+            match self {
+                DurabilityMode::Durable => "durable",
+                DurabilityMode::Degraded => "degraded",
+            },
+        );
+    }
+}
+
+impl ToJson for DurabilityStats {
+    fn write_json(&self, out: &mut String) {
+        object(out, |o| {
+            o.u64("appended_ops", self.appended_ops);
+            o.u64("appended_bytes", self.appended_bytes);
+            o.u64("fsyncs", self.fsyncs);
+            o.u64("checkpoints", self.checkpoints);
+            o.u64("spilled_records", self.spilled_records);
+            o.u64("io_errors", self.io_errors);
+            o.opt_str("last_error", self.last_error.as_deref());
+            o.value("mode", &self.mode);
+            o.opt_u64(
+                "durability_lost_secs",
+                self.durability_lost.map(|t| t.as_secs()),
+            );
+            o.u64("ops_dropped", self.ops_dropped);
+            o.u64("dropped_frames", self.dropped_frames);
+            o.u64("degraded_transitions", self.degraded_transitions);
+            o.u64("heals", self.heals);
+        });
+    }
+}
+
+impl ToJson for RecoveryInfo {
+    fn write_json(&self, out: &mut String) {
+        object(out, |o| {
+            o.u64("replayed_ops", self.replayed_ops);
+            o.bool("from_clean_shutdown", self.from_clean_shutdown);
+            o.bool("checkpoint_loaded", self.checkpoint_loaded);
+        });
+    }
+}
+
+impl ToJson for RegionHealth {
+    fn write_json(&self, out: &mut String) {
+        object(out, |o| {
+            o.bool("degraded", self.degraded);
+            o.u64("since_secs", self.since.as_secs());
+            o.u64("degraded_secs", self.degraded_secs);
+            o.u64("trips", self.trips);
+        });
+    }
+}
+
+impl ToJson for LiveReport {
+    fn write_json(&self, out: &mut String) {
+        let mut regions: Vec<_> = self.per_region_probes.iter().collect();
+        regions.sort_by_key(|(r, _)| **r);
+        let mut degraded: Vec<_> = self.degraded_secs.iter().collect();
+        degraded.sort_by_key(|(r, _)| **r);
+        object(out, |o| {
+            o.u64("probes", self.probes as u64);
+            o.object("per_region_probes", |o| {
+                for (region, n) in regions {
+                    o.u64(region.name(), *n as u64);
+                }
+            });
+            o.u64("ticks", self.ticks);
+            o.u64("retries_issued", self.retries_issued);
+            o.u64("probes_abandoned", self.probes_abandoned);
+            o.u64("breaker_trips", self.breaker_trips);
+            o.object("degraded_secs", |o| {
+                for (region, secs) in degraded {
+                    o.u64(region.name(), *secs);
+                }
+            });
+            o.u64("durable_ops", self.durable_ops);
+            o.u64("durable_bytes", self.durable_bytes);
+            o.u64("durable_fsyncs", self.durable_fsyncs);
+            o.u64("worker_panics", self.worker_panics);
+            o.u64("durable_io_errors", self.durable_io_errors);
+            o.u64("durable_ops_dropped", self.durable_ops_dropped);
+            o.opt_u64(
+                "durability_lost_secs",
+                self.durability_lost.map(|t| t.as_secs()),
+            );
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_sim::time::{SimDuration, SimTime};
+
+    #[test]
+    fn scalars_and_nesting_compose() {
+        let mut out = String::new();
+        object(&mut out, |o| {
+            o.u64("n", 3);
+            o.str("s", "a\"b\\c\nd\u{1}");
+            o.f64("whole", 2.0);
+            o.f64("frac", 0.25);
+            o.f64("nan", f64::NAN);
+            o.bool("ok", true);
+            o.null("nothing");
+            o.array("xs", |a| {
+                a.u64(1);
+                a.str("two");
+                a.object(|o| o.bool("three", false));
+            });
+        });
+        assert_eq!(
+            out,
+            "{\"n\":3,\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"whole\":2.0,\
+             \"frac\":0.25,\"nan\":null,\"ok\":true,\"nothing\":null,\
+             \"xs\":[1,\"two\",{\"three\":false}]}"
+        );
+    }
+
+    #[test]
+    fn report_types_serialize() {
+        let stats = AvailabilityStats {
+            probes: 10,
+            rejections: 2,
+            unavailable_fraction: 0.125,
+            intervals: 1,
+        };
+        let json = stats.to_json();
+        assert!(json.contains("\"availability\":0.875"));
+        assert!(json.contains("\"probes\":10"));
+
+        let fresh = Freshness {
+            last_informative: Some(SimTime::from_secs(600)),
+            age: Some(SimDuration::from_secs(30)),
+            region_degraded: false,
+            durability_lost: None,
+        };
+        assert_eq!(
+            fresh.to_json(),
+            "{\"last_informative_secs\":600,\"age_secs\":30,\
+             \"region_degraded\":false,\"durability_lost_secs\":null}"
+        );
+
+        assert_eq!(DurabilityMode::Degraded.to_json(), "\"degraded\"");
+        let recovery = RecoveryInfo {
+            replayed_ops: 0,
+            from_clean_shutdown: true,
+            checkpoint_loaded: true,
+        };
+        assert!(recovery.to_json().contains("\"replayed_ops\":0"));
+        assert!(DurabilityStats::default()
+            .to_json()
+            .contains("\"mode\":\"durable\""));
+        assert!(LiveReport::default().to_json().contains("\"probes\":0"));
+    }
+}

@@ -61,19 +61,23 @@ pub mod analysis;
 pub mod bidspread;
 pub mod budget;
 pub mod durable;
+pub mod json;
 pub mod manager;
 pub mod policy;
 pub mod probe;
 pub mod query;
+pub mod snapshot;
 pub mod spotlight;
 pub mod stats;
 pub mod store;
 pub mod sync;
 
 pub use durable::{DurabilityMode, DurabilityStats, DurableOptions, FsyncPolicy, RecoveryInfo};
+pub use json::ToJson;
 pub use manager::{LiveConfig, LiveReport, ResilienceConfig};
 pub use policy::{PolicyConfig, SpotLightConfig};
 pub use probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
 pub use query::{Freshness, SpotLightQuery};
+pub use snapshot::{SnapshotHub, SnapshotReader, StoreSnapshot};
 pub use spotlight::SpotLight;
 pub use store::{DataStore, RegionHealth, SharedStore, StoreRead};

@@ -180,7 +180,7 @@ impl Default for LiveConfig {
 }
 
 /// Summary of a live run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LiveReport {
     /// Probes recorded.
     pub probes: usize,

@@ -10,10 +10,9 @@
 use crate::budget::BudgetConfig;
 use cloud_sim::ids::MarketId;
 use cloud_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The market-based probing policy parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyConfig {
     /// Trigger threshold `T`: probe when spot/od ≥ this multiple. The
     /// paper's deployment used `T = 1` (the on-demand price).
@@ -88,7 +87,7 @@ impl PolicyConfig {
 }
 
 /// Periodic spot capacity checking (`CheckCapacity`, §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpotCheckConfig {
     /// Wake interval between batches.
     pub interval: SimDuration,
@@ -106,7 +105,7 @@ impl Default for SpotCheckConfig {
 }
 
 /// Full SpotLight deployment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpotLightConfig {
     /// The probing policy.
     pub policy: PolicyConfig,

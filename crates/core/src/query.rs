@@ -17,11 +17,10 @@ use crate::probe::ProbeKind;
 use crate::store::StoreRead;
 use cloud_sim::ids::{MarketId, Region};
 use cloud_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Availability summary of one market and contract kind.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailabilityStats {
     /// Informative probes issued.
     pub probes: u64,
@@ -48,7 +47,7 @@ impl AvailabilityStats {
 /// from a minute ago; this struct is how queries say so instead of
 /// fabricating confidence (the staleness half of the live mode's
 /// graceful degradation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Freshness {
     /// When the last *informative* probe of the key landed (probes that
     /// carried no availability information — `ApiLimited` — do not

@@ -1,0 +1,320 @@
+//! Immutable, atomically-swapped snapshots of the store — the
+//! RCU/arc-swap pattern the HTTP query service reads through.
+//!
+//! A live [`crate::store::StoreRead`] holds every stripe's read lock,
+//! which is exactly right for a batch of analyses but wrong for a
+//! serving hot path: a million concurrent GETs would contend with each
+//! other and stall ingest. Instead the service publishes a
+//! [`StoreSnapshot`] — an owned deep copy of the stripes plus the
+//! store-wide counters, taken under one consistent read pass — into a
+//! [`SnapshotHub`], and request workers read through a per-worker
+//! [`SnapshotReader`] cache:
+//!
+//! * **Publish** (ingest side, rare): [`DataStore::snapshot`] →
+//!   [`SnapshotHub::publish`]. Swaps the `Arc` under a tiny mutex and
+//!   bumps a generation counter.
+//! * **Read** (query side, hot): [`SnapshotReader::current`] is one
+//!   atomic generation load plus a branch; the mutex is touched only
+//!   on the first read after a publish. Queries then run over
+//!   [`StoreSnapshot::read`] — the same [`crate::store::StoreRead`]
+//!   API as a live read, with **no locks held**, so readers never
+//!   block ingest and ingest never blocks readers.
+//!
+//! The crate forbids `unsafe`, so the swap is a mutex-guarded `Arc`
+//! clone rather than an `AtomicPtr` dance; the generation check keeps
+//! that mutex off the per-request path entirely.
+
+use crate::store::{DataStore, ReadView, RegionHealth, StoreRead, Stripe};
+use crate::sync::Mutex;
+use cloud_sim::ids::Region;
+use cloud_sim::price::Price;
+use cloud_sim::time::SimTime;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An owned, immutable copy of the store's queryable state, consistent
+/// across stripes (captured under every stripe's read lock).
+#[derive(Debug)]
+pub struct StoreSnapshot {
+    pub(crate) stripes: Box<[Stripe]>,
+    pub(crate) epoch_secs: u64,
+    pub(crate) recorded_probes: u64,
+    pub(crate) total_cost_micros: u64,
+    pub(crate) suppressed_probes: u64,
+    pub(crate) region_health: HashMap<Region, RegionHealth>,
+    pub(crate) durability_lost: Option<SimTime>,
+    as_of: SimTime,
+}
+
+impl StoreSnapshot {
+    /// A lock-free read view over the snapshot — the full
+    /// [`StoreRead`] query/analysis surface, shareable across any
+    /// number of threads.
+    pub fn read(&self) -> StoreRead<'_> {
+        StoreRead {
+            view: ReadView::Snapshot(self),
+        }
+    }
+
+    /// The publisher-supplied capture time: queries default their
+    /// observation span's end (their "now") to this.
+    pub fn as_of(&self) -> SimTime {
+        self.as_of
+    }
+
+    /// Probes recorded over the store's lifetime as of the capture.
+    pub fn len(&self) -> usize {
+        self.recorded_probes as usize
+    }
+
+    /// True when the captured store had recorded no probes.
+    pub fn is_empty(&self) -> bool {
+        self.recorded_probes == 0
+    }
+
+    /// Total money spent on probes as of the capture.
+    pub fn total_cost(&self) -> Price {
+        Price::from_micros(self.total_cost_micros)
+    }
+}
+
+impl DataStore {
+    /// Captures an immutable snapshot of the store's queryable state:
+    /// a deep copy of every stripe plus the store-wide counters and
+    /// health tables, taken under one consistent all-stripe read pass.
+    /// `as_of` is the publisher's clock — what snapshot queries treat
+    /// as "now".
+    ///
+    /// This is the expensive half of the RCU pattern (a full copy of
+    /// the resident data); call it at ingest cadence (seconds), not
+    /// query cadence.
+    pub fn snapshot(&self, as_of: SimTime) -> StoreSnapshot {
+        let guards: Vec<_> = self.stripes.iter().map(|s| s.read()).collect();
+        let stripes: Box<[Stripe]> = guards.iter().map(|g| (**g).clone()).collect();
+        drop(guards);
+        StoreSnapshot {
+            stripes,
+            epoch_secs: self.epoch_secs,
+            recorded_probes: self.recorded_probes.load(Ordering::Relaxed),
+            total_cost_micros: self.total_cost_micros.load(Ordering::Relaxed),
+            suppressed_probes: self.suppressed_probes.load(Ordering::Relaxed),
+            region_health: self.region_health.read().clone(),
+            durability_lost: self.durability_lost(),
+            as_of,
+        }
+    }
+}
+
+/// The publication point: one current [`StoreSnapshot`] behind an
+/// atomically-bumped generation. Writers swap; readers poll the
+/// generation and re-clone the `Arc` only when it moved.
+#[derive(Debug)]
+pub struct SnapshotHub {
+    current: Mutex<Arc<StoreSnapshot>>,
+    generation: AtomicU64,
+}
+
+impl SnapshotHub {
+    /// Creates a hub publishing `initial` at generation 0.
+    pub fn new(initial: StoreSnapshot) -> Self {
+        SnapshotHub {
+            current: Mutex::new(Arc::new(initial)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new snapshot, returning the new generation. Readers
+    /// observe the bump and refresh on their next request.
+    pub fn publish(&self, snapshot: StoreSnapshot) -> u64 {
+        let next = Arc::new(snapshot);
+        let mut current = self.current.lock();
+        *current = next;
+        // Bumped while the mutex is held so a reader that sees the new
+        // generation is guaranteed to load (at least) this snapshot.
+        self.generation.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Captures and publishes a fresh snapshot of `store` in one call —
+    /// the publication hook an ingest loop runs at its own cadence.
+    pub fn republish(&self, store: &DataStore, as_of: SimTime) -> u64 {
+        self.publish(store.snapshot(as_of))
+    }
+
+    /// The current snapshot (clones the `Arc` under the mutex; use a
+    /// [`SnapshotReader`] on hot paths).
+    pub fn load(&self) -> Arc<StoreSnapshot> {
+        self.current.lock().clone()
+    }
+
+    /// The current generation (0 until the first [`SnapshotHub::publish`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+/// A per-worker cache of the hub's current snapshot. The fast path of
+/// [`SnapshotReader::current`] is one atomic load and a pointer return;
+/// only the first call after a publish pays the mutex.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    generation: u64,
+    cached: Arc<StoreSnapshot>,
+}
+
+impl SnapshotReader {
+    /// Creates a reader primed with the hub's current snapshot.
+    pub fn new(hub: &SnapshotHub) -> Self {
+        // Generation first: if a publish lands in between, the cache is
+        // newer than the recorded generation and the next `current`
+        // call harmlessly reloads.
+        let generation = hub.generation();
+        SnapshotReader {
+            generation,
+            cached: hub.load(),
+        }
+    }
+
+    /// The freshest published snapshot, refreshing the cache only when
+    /// the hub's generation moved.
+    pub fn current(&mut self, hub: &SnapshotHub) -> &Arc<StoreSnapshot> {
+        let generation = hub.generation();
+        if generation != self.generation {
+            self.generation = generation;
+            self.cached = hub.load();
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeKind, ProbeOutcome, ProbeRecord, ProbeTrigger};
+    use crate::query::SpotLightQuery;
+    use cloud_sim::ids::{Az, MarketId, Platform};
+
+    fn market(i: u8) -> MarketId {
+        MarketId {
+            az: Az::new(Region::UsEast1, i),
+            instance_type: "c3.large".parse().unwrap(),
+            platform: Platform::LinuxUnix,
+        }
+    }
+
+    fn probe(at: u64, m: MarketId, outcome: ProbeOutcome) -> ProbeRecord {
+        ProbeRecord {
+            at: SimTime::from_secs(at),
+            market: m,
+            kind: ProbeKind::OnDemand,
+            trigger: ProbeTrigger::PriceSpike { ratio: 2.0 },
+            outcome,
+            spot_ratio: 2.0,
+            bid: None,
+            cost: Price::from_dollars(0.1),
+        }
+    }
+
+    #[test]
+    fn snapshot_answers_match_live_reads() {
+        let store = DataStore::new();
+        let m = market(0);
+        store.record_probe(probe(0, m, ProbeOutcome::InsufficientCapacity));
+        store.record_probe(probe(900, m, ProbeOutcome::Fulfilled));
+        store.record_probe(probe(1800, market(1), ProbeOutcome::Fulfilled));
+        store.mark_region_degraded(Region::EuWest1, SimTime::from_secs(100));
+
+        let snap = store.snapshot(SimTime::from_secs(3600));
+        let live = store.read();
+        let frozen = snap.read();
+        let span = (SimTime::ZERO, SimTime::from_secs(3600));
+
+        let ql = SpotLightQuery::new(&live, span.0, span.1);
+        let qs = SpotLightQuery::new(&frozen, span.0, span.1);
+        assert_eq!(
+            ql.availability(m, ProbeKind::OnDemand),
+            qs.availability(m, ProbeKind::OnDemand)
+        );
+        assert_eq!(
+            ql.freshness(m, ProbeKind::OnDemand),
+            qs.freshness(m, ProbeKind::OnDemand)
+        );
+        assert_eq!(ql.degraded_regions(), qs.degraded_regions());
+        assert_eq!(live.len(), frozen.len());
+        assert_eq!(live.total_cost(), frozen.total_cost());
+        assert_eq!(
+            live.probed_markets().count(),
+            frozen.probed_markets().count()
+        );
+        assert_eq!(snap.as_of(), SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_ingest() {
+        let store = DataStore::new();
+        let m = market(0);
+        store.record_probe(probe(0, m, ProbeOutcome::Fulfilled));
+        let snap = store.snapshot(SimTime::from_secs(10));
+        store.record_probe(probe(20, m, ProbeOutcome::InsufficientCapacity));
+        let frozen = snap.read();
+        assert_eq!(frozen.len(), 1);
+        assert!(!frozen.is_unavailable(m, ProbeKind::OnDemand));
+        assert_eq!(store.read().len(), 2);
+    }
+
+    #[test]
+    fn hub_generation_gates_reader_refresh() {
+        let store = DataStore::new();
+        let m = market(0);
+        store.record_probe(probe(0, m, ProbeOutcome::Fulfilled));
+        let hub = SnapshotHub::new(store.snapshot(SimTime::from_secs(1)));
+        let mut reader = SnapshotReader::new(&hub);
+        assert_eq!(hub.generation(), 0);
+        assert_eq!(reader.current(&hub).len(), 1);
+
+        store.record_probe(probe(5, m, ProbeOutcome::Fulfilled));
+        assert_eq!(reader.current(&hub).len(), 1, "not yet published");
+        let generation = hub.republish(&store, SimTime::from_secs(6));
+        assert_eq!(generation, 1);
+        assert_eq!(reader.current(&hub).len(), 2);
+        assert_eq!(reader.current(&hub).as_of(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn concurrent_publishers_and_readers_stay_coherent() {
+        let store = Arc::new(DataStore::new());
+        let hub = Arc::new(SnapshotHub::new(store.snapshot(SimTime::ZERO)));
+        std::thread::scope(|scope| {
+            let publisher = {
+                let store = Arc::clone(&store);
+                let hub = Arc::clone(&hub);
+                scope.spawn(move || {
+                    for t in 0..200u64 {
+                        store.record_probe(probe(
+                            t,
+                            market((t % 4) as u8),
+                            ProbeOutcome::Fulfilled,
+                        ));
+                        hub.republish(&store, SimTime::from_secs(t));
+                    }
+                })
+            };
+            for _ in 0..2 {
+                let hub = Arc::clone(&hub);
+                scope.spawn(move || {
+                    let mut reader = SnapshotReader::new(&hub);
+                    let mut last = 0usize;
+                    for _ in 0..1000 {
+                        let snap = reader.current(&hub);
+                        let n = snap.len();
+                        assert!(n >= last, "snapshots must advance monotonically");
+                        assert_eq!(snap.read().probes().count(), n);
+                        last = n;
+                    }
+                });
+            }
+            publisher.join().unwrap();
+        });
+        assert_eq!(hub.load().len(), 200);
+    }
+}

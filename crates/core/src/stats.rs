@@ -2,8 +2,6 @@
 //! CDFs, and rolling maxima — the machinery behind the Chapter 5
 //! analyses.
 
-use serde::{Deserialize, Serialize};
-
 /// A probability estimator over ordered threshold buckets: counts trials
 /// and successes per bucket and reports `successes / trials`.
 ///
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.rate(1), Some(0.5));
 /// assert_eq!(r.rate(2), None); // no trials at >=5
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BucketedRate {
     edges: Vec<f64>,
     trials: Vec<u64>,
@@ -129,7 +127,7 @@ impl BucketedRate {
 /// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
 /// assert_eq!(cdf.quantile(0.5), Some(2.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

@@ -273,7 +273,7 @@ pub(crate) struct EpochCell {
 }
 
 /// A dense, growable run of epoch buckets starting at epoch `first`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct EpochSeries {
     pub(crate) first: u64,
     pub(crate) cells: Vec<EpochCell>,
@@ -326,7 +326,7 @@ impl EpochSeries {
 
 /// Everything one `(market, kind)` key maintains, reachable in a single
 /// hash lookup at ingest.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct KeyState {
     pub(crate) stats: ProbeStats,
     /// Indices into the stripe's interval slab, in interval-open order.
@@ -348,7 +348,8 @@ pub(crate) struct KeyState {
 }
 
 /// One lock stripe: a shard of the log plus its secondary indices.
-#[derive(Debug, Default)]
+/// `Clone` is what [`DataStore::snapshot`] deep-copies per stripe.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Stripe {
     pub(crate) probes: Vec<ProbeRecord>,
     pub(crate) probes_by_market: FxHashMap<MarketId, Vec<usize>>,
@@ -413,6 +414,18 @@ pub type SharedStore = Arc<DataStore>;
 /// Creates an empty shared store.
 pub fn shared_store() -> SharedStore {
     Arc::new(DataStore::new())
+}
+
+/// Routes a market to a stripe: the deterministic Fx hash of its id,
+/// high bits folded into the low bits the modulo looks at. A free
+/// function so live stores and owned snapshots (which have no
+/// `DataStore`) agree on the layout.
+pub(crate) fn stripe_index(market: MarketId, stripes: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    market.hash(&mut h);
+    let h = h.finish();
+    ((h >> 32) ^ h) as usize % stripes
 }
 
 /// Inserts `item` into a vector kept sorted by `key_of`. Appends in
@@ -484,21 +497,17 @@ impl DataStore {
     }
 
     fn stripe_of(&self, market: MarketId) -> usize {
-        use std::hash::{Hash, Hasher};
-        let mut h = FxHasher::default();
-        market.hash(&mut h);
-        let h = h.finish();
-        // Fold the well-mixed high bits into the low bits the modulo
-        // looks at.
-        ((h >> 32) ^ h) as usize % self.stripes.len()
+        stripe_index(market, self.stripes.len())
     }
 
     /// Acquires a consistent read snapshot over every stripe. Readers
     /// share; writers to any stripe wait until the snapshot is dropped.
     pub fn read(&self) -> StoreRead<'_> {
         StoreRead {
-            store: self,
-            stripes: self.stripes.iter().map(|s| s.read()).collect(),
+            view: ReadView::Live {
+                store: self,
+                stripes: self.stripes.iter().map(|s| s.read()).collect(),
+            },
         }
     }
 
@@ -972,24 +981,66 @@ impl Stripe {
     }
 }
 
-/// A consistent read snapshot over every stripe: the whole query and
-/// analysis surface of the store. Holding one blocks writers, so drop
-/// it before resuming ingest-heavy work.
+/// A consistent read view over every stripe: the whole query and
+/// analysis surface of the store.
+///
+/// Two backings share this one API:
+///
+/// * **Live** ([`DataStore::read`]) — holds every stripe's read guard.
+///   Holding one blocks writers, so drop it before resuming
+///   ingest-heavy work.
+/// * **Snapshot** ([`crate::snapshot::StoreSnapshot::read`]) — borrows
+///   an owned, immutable copy of the stripes. No locks are held; a
+///   million concurrent readers share it freely (the HTTP service's
+///   hot path).
 #[derive(Debug)]
 pub struct StoreRead<'a> {
-    store: &'a DataStore,
-    stripes: Vec<RwLockReadGuard<'a, Stripe>>,
+    pub(crate) view: ReadView<'a>,
+}
+
+#[derive(Debug)]
+pub(crate) enum ReadView<'a> {
+    Live {
+        store: &'a DataStore,
+        stripes: Vec<RwLockReadGuard<'a, Stripe>>,
+    },
+    Snapshot(&'a crate::snapshot::StoreSnapshot),
 }
 
 impl StoreRead<'_> {
+    fn stripe_count(&self) -> usize {
+        match &self.view {
+            ReadView::Live { stripes, .. } => stripes.len(),
+            ReadView::Snapshot(s) => s.stripes.len(),
+        }
+    }
+
+    fn stripe_at(&self, i: usize) -> &Stripe {
+        match &self.view {
+            ReadView::Live { stripes, .. } => &stripes[i],
+            ReadView::Snapshot(s) => &s.stripes[i],
+        }
+    }
+
+    fn stripes(&self) -> impl Iterator<Item = &Stripe> + '_ {
+        (0..self.stripe_count()).map(|i| self.stripe_at(i))
+    }
+
     fn stripe_for(&self, market: MarketId) -> &Stripe {
-        &self.stripes[self.store.stripe_of(market)]
+        self.stripe_at(stripe_index(market, self.stripe_count()))
+    }
+
+    fn epoch_secs(&self) -> u64 {
+        match &self.view {
+            ReadView::Live { store, .. } => store.epoch_secs,
+            ReadView::Snapshot(s) => s.epoch_secs,
+        }
     }
 
     /// All resident probes, stripe by stripe (oldest first within a
     /// market; cross-market order is stripe layout, not global time).
     pub fn probes(&self) -> impl Iterator<Item = &ProbeRecord> + '_ {
-        self.stripes.iter().flat_map(|s| s.probes.iter())
+        self.stripes().flat_map(|s| s.probes.iter())
     }
 
     /// The resident probes of one market, oldest first.
@@ -1026,15 +1077,14 @@ impl StoreRead<'_> {
 
     /// All resident spike observations.
     pub fn spikes(&self) -> impl Iterator<Item = &SpikeEvent> + '_ {
-        self.stripes.iter().flat_map(|s| s.spikes.iter())
+        self.stripes().flat_map(|s| s.spikes.iter())
     }
 
     /// Spikes with `ratio >= threshold`, counted over the store's
     /// lifetime from the per-epoch sorted ratio buckets (a binary
     /// search per bucket; unaffected by compaction).
     pub fn spikes_at_or_above(&self, threshold: f64) -> u64 {
-        self.stripes
-            .iter()
+        self.stripes()
             .flat_map(|s| s.spike_ratios_by_epoch.values())
             .map(|ratios| (ratios.len() - ratios.partition_point(|&r| r < threshold)) as u64)
             .sum()
@@ -1043,7 +1093,7 @@ impl StoreRead<'_> {
     /// All unavailability intervals (open ones have `end == None`),
     /// stripe by stripe.
     pub fn intervals(&self) -> impl Iterator<Item = &UnavailabilityInterval> + '_ {
-        self.stripes.iter().flat_map(|s| s.intervals.iter())
+        self.stripes().flat_map(|s| s.intervals.iter())
     }
 
     /// The unavailability intervals of one `(market, kind)`, in open
@@ -1092,7 +1142,7 @@ impl StoreRead<'_> {
     pub fn rejection_entries(
         &self,
     ) -> impl Iterator<Item = ((MarketId, ProbeKind), &[SimTime])> + '_ {
-        self.stripes.iter().flat_map(|s| {
+        self.stripes().flat_map(|s| {
             s.keys
                 .iter()
                 .filter(|(_, k)| !k.rejection_times.is_empty())
@@ -1121,7 +1171,7 @@ impl StoreRead<'_> {
         let Some(state) = self.stripe_for(market).keys.get(&(market, kind)) else {
             return (0, 0);
         };
-        let w = self.store.epoch_secs;
+        let w = self.epoch_secs();
         state
             .epochs
             .counts_in(from.as_secs() / w, to.as_secs().div_ceil(w))
@@ -1137,19 +1187,15 @@ impl StoreRead<'_> {
         from: SimTime,
         to: SimTime,
     ) -> u64 {
-        self.stripe_for(market).unavailable_seconds_in(
-            (market, kind),
-            from,
-            to,
-            self.store.epoch_secs,
-        )
+        self.stripe_for(market)
+            .unavailable_seconds_in((market, kind), from, to, self.epoch_secs())
     }
 
     /// On-demand rejection counts per region, merged into `out`
     /// (cleared first) from the stripes' running counters.
     pub fn od_rejections_into(&self, out: &mut HashMap<Region, u64>) {
         out.clear();
-        for stripe in &self.stripes {
+        for stripe in self.stripes() {
             for (&region, &n) in &stripe.od_rejections_by_region {
                 *out.entry(region).or_insert(0) += n;
             }
@@ -1186,30 +1232,41 @@ impl StoreRead<'_> {
 
     /// The health record of one region, if a breaker ever reported it.
     pub fn region_health(&self, region: Region) -> Option<RegionHealth> {
-        self.store.region_health(region)
+        match &self.view {
+            ReadView::Live { store, .. } => store.region_health(region),
+            ReadView::Snapshot(s) => s.region_health.get(&region).copied(),
+        }
     }
 
     /// The store's durability-loss watermark, if its durable log is
-    /// currently degraded (see [`DataStore::durability_lost`]).
+    /// currently degraded (see [`DataStore::durability_lost`]). A
+    /// snapshot reports the watermark captured at publication.
     pub fn durability_lost(&self) -> Option<SimTime> {
-        self.store.durability_lost()
+        match &self.view {
+            ReadView::Live { store, .. } => store.durability_lost(),
+            ReadView::Snapshot(s) => s.durability_lost,
+        }
     }
 
     /// Regions currently marked degraded, in canonical region order.
     pub fn degraded_regions(&self) -> Vec<Region> {
-        let health = self.store.region_health.read();
-        let mut out: Vec<Region> = health
-            .iter()
-            .filter(|(_, h)| h.degraded)
-            .map(|(&r, _)| r)
-            .collect();
-        out.sort_unstable();
-        out
+        let collect = |iter: &mut dyn Iterator<Item = (Region, RegionHealth)>| {
+            let mut out: Vec<Region> = iter.filter(|(_, h)| h.degraded).map(|(r, _)| r).collect();
+            out.sort_unstable();
+            out
+        };
+        match &self.view {
+            ReadView::Live { store, .. } => {
+                let health = store.region_health.read();
+                collect(&mut health.iter().map(|(&r, &h)| (r, h)))
+            }
+            ReadView::Snapshot(s) => collect(&mut s.region_health.iter().map(|(&r, &h)| (r, h))),
+        }
     }
 
     /// All revocation observations.
     pub fn revocations(&self) -> impl Iterator<Item = &RevocationRecord> + '_ {
-        self.stripes.iter().flat_map(|s| s.revocations.iter())
+        self.stripes().flat_map(|s| s.revocations.iter())
     }
 
     /// The revocation observations of one market, oldest first.
@@ -1225,35 +1282,43 @@ impl StoreRead<'_> {
 
     /// All intrinsic-bid measurements.
     pub fn intrinsic_bids(&self) -> impl Iterator<Item = &IntrinsicBidRecord> + '_ {
-        self.stripes.iter().flat_map(|s| s.intrinsic_bids.iter())
+        self.stripes().flat_map(|s| s.intrinsic_bids.iter())
     }
 
     /// Markets that were probed at least once (a lifetime fact;
     /// compaction does not remove markets).
     pub fn probed_markets(&self) -> impl Iterator<Item = MarketId> + '_ {
-        self.stripes
-            .iter()
+        self.stripes()
             .flat_map(|s| s.probes_by_market.keys().copied())
     }
 
     /// Total money spent on probes.
     pub fn total_cost(&self) -> Price {
-        self.store.total_cost()
+        match &self.view {
+            ReadView::Live { store, .. } => store.total_cost(),
+            ReadView::Snapshot(s) => Price::from_micros(s.total_cost_micros),
+        }
     }
 
     /// Probes suppressed by budget or service limits.
     pub fn suppressed_probes(&self) -> u64 {
-        self.store.suppressed_probes()
+        match &self.view {
+            ReadView::Live { store, .. } => store.suppressed_probes(),
+            ReadView::Snapshot(s) => s.suppressed_probes,
+        }
     }
 
     /// Number of probes recorded over the store's lifetime.
     pub fn len(&self) -> usize {
-        self.store.len()
+        match &self.view {
+            ReadView::Live { store, .. } => store.len(),
+            ReadView::Snapshot(s) => s.recorded_probes as usize,
+        }
     }
 
     /// True when no probes have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.len() == 0
     }
 }
 

@@ -89,7 +89,7 @@ pub fn fig_6_1(study: &Study, out: &Path) {
         ]);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_6_1");
+    crate::output::emit_csv(&table, out, "fig_6_1");
     println!(
         "  paper shape: naive 72-92% (us-east better than ap-southeast-2); \
          SpotLight restores ~100%"
@@ -141,7 +141,7 @@ pub fn fig_6_2(study: &Study, out: &Path) {
         ]);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_6_2");
+    crate::output::emit_csv(&table, out, "fig_6_2");
     println!(
         "  paper shape: naive 2.29-3.44 h for the 1 h job (worst in ap-southeast-2); \
          SpotLight restores ~2 h"

@@ -55,7 +55,9 @@ fn az(region: Region, idx: u8) -> Az {
 fn market(region: Region, az_idx: u8, ty: &str, platform: Platform) -> MarketId {
     MarketId {
         az: az(region, az_idx),
-        instance_type: ty.parse().expect("valid type"),
+        instance_type: ty.parse().unwrap_or_else(|e| {
+            panic!("figure catalog names instance type {ty:?}, which does not parse: {e}")
+        }),
         platform,
     }
 }

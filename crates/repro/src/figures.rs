@@ -60,7 +60,7 @@ pub fn fig_5_4(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_4");
+    crate::output::emit_csv(&table, out, "fig_5_4");
     println!("  paper shape: rises from ~0% below 1X to ~10% at >10X; longer windows sit higher");
 }
 
@@ -81,7 +81,7 @@ pub fn fig_5_5(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_5");
+    crate::output::emit_csv(&table, out, "fig_5_5");
     println!("  paper shape: sa-east-1 / ap-southeast-1 / ap-southeast-2 dominate");
 }
 
@@ -112,7 +112,7 @@ pub fn fig_5_6(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_6");
+    crate::output::emit_csv(&table, out, "fig_5_6");
     println!("  paper shape: us-east-1 under 1%; sa-east-1/ap-southeast highest");
 }
 
@@ -137,7 +137,7 @@ pub fn fig_5_7(study: &Study, out: &Path) {
         ]);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_7");
+    crate::output::emit_csv(&table, out, "fig_5_7");
     if buckets > 0 {
         println!(
             "  mean across populated buckets: {:.0}% by spikes / {:.0}% by related \
@@ -172,7 +172,7 @@ pub fn fig_5_8(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_8");
+    crate::output::emit_csv(&table, out, "fig_5_8");
     println!(
         "  paper shape: decreases with spike size (~24% to ~12.5% at 1 h); \
          longer windows sit higher"
@@ -198,7 +198,7 @@ pub fn fig_5_9(study: &Study, out: &Path) {
         ]);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_9");
+    crate::output::emit_csv(&table, out, "fig_5_9");
     println!(
         "  n={}  <1h: {:.1}% (paper ~83%)   >10h: {:.1}% (paper ~5%)   median {:.2}h",
         cdf.len(),
@@ -241,7 +241,7 @@ pub fn fig_5_10(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_10");
+    crate::output::emit_csv(&table, out, "fig_5_10");
     println!("  paper shape: decreases as the price rises; us-east-1 ~10% → ~1%");
 }
 
@@ -266,7 +266,7 @@ pub fn fig_5_11(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_11");
+    crate::output::emit_csv(&table, out, "fig_5_11");
     println!(
         "  share of CNA events below the on-demand price: {:.1}% (paper ~98%)",
         100.0 * below_od
@@ -292,7 +292,7 @@ pub fn fig_5_12(study: &Study, out: &Path) {
         table.row(row);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_12");
+    crate::output::emit_csv(&table, out, "fig_5_12");
     println!(
         "  paper @3600s: od-od 17.6%, spot-spot 8.2%, od-spot 1.5%, spot-od 2.8% \
          (od-od strongest, cross-kind weakest)"

@@ -60,6 +60,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if !config.threshold.is_finite() || config.threshold < 0.0 {
+        return Err(format!(
+            "--threshold {} must be a finite non-negative spike ratio (the paper deployed 1.0)",
+            config.threshold
+        ));
+    }
+    if config.days > 3650 {
+        return Err(format!(
+            "--days {} is over a decade of simulated deployment; the paper ran ~90",
+            config.days
+        ));
+    }
     Ok(Args {
         target,
         config,
@@ -173,6 +185,10 @@ fn main() -> ExitCode {
             eprintln!("error: unknown target `{other}` (try `repro all`)");
             return ExitCode::FAILURE;
         }
+    }
+    if output::csv_errors() {
+        eprintln!("error: some CSV outputs failed to write (see above)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

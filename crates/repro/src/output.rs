@@ -3,6 +3,30 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set when any CSV emission fails, so `main` can exit non-zero after
+/// printing every figure instead of silently losing files.
+static CSV_FAILED: AtomicBool = AtomicBool::new(false);
+
+/// Writes `table` as `dir/name.csv`, reporting the outcome. A failed
+/// write (read-only `--out`, full disk) is printed to stderr and
+/// remembered — it must fail the run, not vanish into a discarded
+/// `Result`.
+pub fn emit_csv(table: &Table, dir: &Path, name: &str) {
+    match table.write_csv(dir, name) {
+        Ok(path) => eprintln!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: writing {}/{name}.csv failed: {e}", dir.display());
+            CSV_FAILED.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Whether any [`emit_csv`] call failed so far.
+pub fn csv_errors() -> bool {
+    CSV_FAILED.load(Ordering::Relaxed)
+}
 
 /// Formats an optional probability as a percentage cell.
 pub fn pct(p: Option<f64>) -> String {

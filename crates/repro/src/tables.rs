@@ -83,7 +83,7 @@ pub fn table_2_1(study: &Study, out: &Path) {
         "Not guaranteed".to_string(),
     ]);
     table.print();
-    let _ = table.write_csv(out, "table_2_1");
+    crate::output::emit_csv(&table, out, "table_2_1");
     println!(
         "  measured over {} on-demand and {} spot probes",
         od_probes, spot_probes

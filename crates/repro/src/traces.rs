@@ -39,7 +39,7 @@ pub fn fig_2_1(study: &Study, out: &Path) {
             format!("{:.4}", od.as_dollars()),
         ]);
     }
-    let _ = table.write_csv(out, "fig_2_1");
+    crate::output::emit_csv(&table, out, "fig_2_1");
     let above = history.iter().filter(|p| p.price > od).count();
     let max = history
         .iter()
@@ -79,7 +79,7 @@ pub fn fig_5_1a(study: &Study, out: &Path) {
             format!("{:.4}", row[2].1),
         ]);
     }
-    let _ = table.write_csv(out, "fig_5_1a");
+    crate::output::emit_csv(&table, out, "fig_5_1a");
     println!(
         "  arbitrage inversions (2xlarge dearer than 8xlarge): {:.1}% of samples \
          ({inversions}/{n})",
@@ -120,7 +120,7 @@ pub fn fig_5_1b(study: &Study, out: &Path) {
             format!("{:.4}", vals[2]),
         ]);
     }
-    let _ = table.write_csv(out, "fig_5_1b");
+    crate::output::emit_csv(&table, out, "fig_5_1b");
     println!(
         "  cross-zone divergence >=2x in {:.1}% of samples; max {:.1}x",
         100.0 * divergent as f64 / n.max(1) as f64,
@@ -154,7 +154,7 @@ pub fn fig_5_2(study: &Study, out: &Path) {
         ]);
     }
     table.print();
-    let _ = table.write_csv(out, "fig_5_2");
+    crate::output::emit_csv(&table, out, "fig_5_2");
     if !records.is_empty() {
         println!(
             "  searches: {}; intrinsic > published in {}; mean attempts {:.1} \
@@ -191,7 +191,7 @@ pub fn fig_5_3(study: &Study, out: &Path) {
         row.push(format!("{od:.4}"));
         table.row(row);
     }
-    let _ = table.write_csv(out, "fig_5_3");
+    crate::output::emit_csv(&table, out, "fig_5_3");
     let mean = |xs: &[(u64, f64)]| xs.iter().map(|x| x.1).sum::<f64>() / xs.len().max(1) as f64;
     println!(
         "  mean spot price: ${:.4}   on-demand: ${od:.4}",

@@ -1,0 +1,140 @@
+//! A minimal blocking HTTP/1.1 client for the query service — used by
+//! the load generator, the smoke harness, and the integration tests.
+//!
+//! Supports keep-alive and explicit pipelining: [`Client::send_get`]
+//! queues a request without waiting, [`Client::read_response`] pulls
+//! the next response off the wire, and [`Client::get`] does one
+//! round-trip.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header lines as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// Looks up a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects with the given socket timeouts.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// The underlying stream (for tests that need raw writes).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Queues a `GET` without waiting for the response.
+    pub fn send_get(&mut self, path_and_query: &str) -> io::Result<()> {
+        let req = format!("GET {path_and_query} HTTP/1.1\r\nHost: spotlight\r\n\r\n");
+        self.stream.write_all(req.as_bytes())
+    }
+
+    /// Reads the next pipelined response.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        // Buffer until the blank line.
+        let head_end = loop {
+            if let Some(pos) = find_blank_line(&self.rbuf) {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = std::str::from_utf8(&self.rbuf[..head_end])
+            .map_err(|_| io::Error::new(ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(ErrorKind::InvalidData, "empty response"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines.filter(|l| !l.is_empty()) {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+        let body_start = head_end;
+        while self.rbuf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = String::from_utf8_lossy(&self.rbuf[body_start..body_start + content_length])
+            .into_owned();
+        self.rbuf.drain(..body_start + content_length);
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// One round-trip.
+    pub fn get(&mut self, path_and_query: &str) -> io::Result<Response> {
+        self.send_get(path_and_query)?;
+        self.read_response()
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        self.rbuf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+/// Index one past the `\r\n\r\n` terminating a response head.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|pos| pos + 4)
+}

@@ -1,0 +1,492 @@
+//! The overload-safe HTTP server: bounded accept → dispatch → worker
+//! pipeline with graceful drain.
+//!
+//! One acceptor thread pulls connections off the listener and either
+//! admits them (permit + bounded queue) or sheds them through
+//! [`crate::admission::Shedder`]. A fixed pool of worker threads pulls
+//! admitted connections from the shared queue; each connection is
+//! handled under `catch_unwind`, so a handler panic burns that one
+//! connection (counted) and nothing else. Workers answer from
+//! atomically published [`StoreSnapshot`]s — the live store is only
+//! touched by the health surfaces, through a `Weak` handle.
+//!
+//! [`Server::drain`] stops the acceptor, lets in-flight connections
+//! finish (or abandons them at the deadline), and leaves the caller
+//! holding the last strong store reference so it can
+//! [`spotlight_core::DataStore::close`] for a zero-replay restart.
+
+use crate::admission::{Permit, ServerStats, Shedder, StatsSnapshot};
+use crate::parser::{self, Limits, Method, Parsed, Reject};
+use crate::router::{route, ServiceState};
+use spotlight_core::snapshot::{SnapshotHub, SnapshotReader};
+use spotlight_core::store::SharedStore;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling admitted connections.
+    pub workers: usize,
+    /// Dispatch-queue depth between acceptor and workers. Admission
+    /// fails (shed) when the queue is full.
+    pub queue_depth: usize,
+    /// Maximum simultaneously admitted connections (permit gauge).
+    pub max_connections: u64,
+    /// Per-read socket timeout (slow-client defense).
+    pub read_timeout: Duration,
+    /// Per-write socket timeout (slow-reader defense).
+    pub write_timeout: Duration,
+    /// Total time a request head may take to arrive before `408`
+    /// (slow-loris defense; spans multiple reads).
+    pub header_deadline: Duration,
+    /// Requests served per connection before it is closed (fairness
+    /// under keep-alive).
+    pub max_requests_per_conn: u64,
+    /// Parser caps.
+    pub limits: Limits,
+    /// `Retry-After` advertised on shed/drain 503s.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 256,
+            max_connections: 1024,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            header_deadline: Duration::from_secs(2),
+            max_requests_per_conn: 10_000,
+            limits: Limits::default(),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// What [`Server::drain`] observed.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// True when the deadline expired with workers still busy (their
+    /// connections were abandoned, not joined).
+    pub forced: bool,
+    /// Final counters.
+    pub stats: StatsSnapshot,
+}
+
+/// One admitted connection travelling the dispatch queue.
+struct Conn {
+    stream: TcpStream,
+    permit: Permit,
+}
+
+/// A running HTTP server. Dropping it without [`Server::drain`] leaks
+/// the threads until process exit; drain is the supported shutdown.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<ServiceState>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    done_rx: Receiver<()>,
+}
+
+impl Server {
+    /// Binds `addr` and starts the acceptor, shedder, and worker pool.
+    ///
+    /// The server holds the store only weakly: after [`Server::drain`]
+    /// the caller's `Arc` is the last one, so the store can be
+    /// unwrapped and closed cleanly.
+    pub fn start(
+        addr: &str,
+        store: &SharedStore,
+        hub: Arc<SnapshotHub>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let state = Arc::new(ServiceState {
+            hub,
+            store: Arc::downgrade(store),
+            stats: Arc::clone(&stats),
+            draining: Arc::new(AtomicBool::new(false)),
+            retry_after_secs: config.retry_after_secs,
+        });
+
+        let (conn_tx, conn_rx) = sync_channel::<Conn>(config.queue_depth.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (done_tx, done_rx) = channel::<()>();
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let state = Arc::clone(&state);
+            let config = config.clone();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || {
+                    worker_loop(&rx, &state, &config);
+                    let _ = done.send(());
+                })
+                .map_err(io::Error::other)?;
+            workers.push(handle);
+        }
+        drop(done_tx);
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let shedder = Shedder::spawn(
+                Arc::clone(&stats),
+                config.queue_depth.max(16),
+                config.retry_after_secs,
+                config.write_timeout,
+            );
+            let max_connections = config.max_connections;
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || {
+                    accept_loop(&listener, &state, &shedder, conn_tx, max_connections);
+                    shedder.join();
+                })
+                .map_err(io::Error::other)?
+        };
+
+        Ok(Server {
+            local_addr,
+            state,
+            acceptor,
+            workers,
+            done_rx,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.state.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, flip `/readyz` to 503, let
+    /// queued and in-flight connections finish, and join everything —
+    /// abandoning stragglers when `deadline` expires. After this
+    /// returns, the server holds no strong store reference.
+    pub fn drain(self, deadline: Duration) -> DrainReport {
+        self.state.draining.store(true, Ordering::SeqCst);
+        // The acceptor may be parked in accept(); a throwaway local
+        // connection wakes it so it can observe the flag.
+        if let Ok(stream) = TcpStream::connect(self.local_addr) {
+            drop(stream);
+        }
+        let started = Instant::now();
+        let _ = self.acceptor.join();
+        // The acceptor exit dropped `conn_tx`; workers drain whatever
+        // was queued, then see the disconnect and report done.
+        let mut forced = false;
+        for _ in 0..self.workers.len() {
+            let left = deadline.saturating_sub(started.elapsed());
+            match self.done_rx.recv_timeout(left) {
+                Ok(()) => {}
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    forced = true;
+                    break;
+                }
+            }
+        }
+        if !forced {
+            for handle in self.workers {
+                let _ = handle.join();
+            }
+        }
+        DrainReport {
+            forced,
+            stats: self.state.stats.snapshot(),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &ServiceState,
+    shedder: &Shedder,
+    conn_tx: SyncSender<Conn>,
+    max_connections: u64,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Transient accept errors (EMFILE, aborted handshakes)
+            // must not kill the acceptor.
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted => {
+                continue
+            }
+            Err(_) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+        };
+        if state.draining.load(Ordering::SeqCst) {
+            drop(stream);
+            break;
+        }
+        state.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let Some(permit) = Permit::try_acquire(&state.stats, max_connections) else {
+            shedder.shed(&state.stats, stream);
+            continue;
+        };
+        match conn_tx.try_send(Conn { stream, permit }) {
+            Ok(()) => {
+                state.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(std::sync::mpsc::TrySendError::Full(conn))
+            | Err(std::sync::mpsc::TrySendError::Disconnected(conn)) => {
+                // Queue full: release the permit first (drop order),
+                // then shed the socket.
+                let Conn { stream, permit } = conn;
+                drop(permit);
+                shedder.shed(&state.stats, stream);
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Conn>>>, state: &Arc<ServiceState>, config: &ServerConfig) {
+    let mut reader = SnapshotReader::new(&state.hub);
+    loop {
+        // Take the lock only to dequeue, never while serving.
+        let conn = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(Conn { stream, permit }) = conn else {
+            break; // acceptor gone and queue drained
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The permit moves into the closure: released on return
+            // *and* on unwind, so panics cannot leak gauge slots.
+            let _permit = permit;
+            serve_connection(stream, state, &mut reader, config);
+        }));
+        if outcome.is_err() {
+            state.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs one admitted connection to completion: keep-alive loop with
+/// pipelining (every complete buffered request is answered in one
+/// write), per-read timeouts, a total header deadline, and the parser
+/// caps. Any reject answers once and closes.
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ServiceState,
+    reader: &mut SnapshotReader,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    let stats = &state.stats;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut out = Vec::with_capacity(4096);
+    let mut served = 0u64;
+    let mut responded = false;
+    // The deadline for the *current* partially buffered head; reset
+    // every time a request completes.
+    let mut head_started: Option<Instant> = None;
+
+    loop {
+        // Answer everything already buffered (pipelining).
+        out.clear();
+        let mut close = false;
+        loop {
+            match parser::parse(&buf, &config.limits) {
+                Parsed::Complete { request, consumed } => {
+                    head_started = None;
+                    served += 1;
+                    let draining = state.draining.load(Ordering::Relaxed);
+                    let keep =
+                        request.keep_alive && served < config.max_requests_per_conn && !draining;
+                    let outcome = route(request.path, request.query, state, reader);
+                    count_response(stats, outcome.status, draining);
+                    write_response(
+                        &mut out,
+                        outcome.status,
+                        &outcome.body,
+                        request.method == Method::Head,
+                        !keep,
+                        outcome.retry_after,
+                    );
+                    buf.drain(..consumed);
+                    if !keep {
+                        close = true;
+                        break;
+                    }
+                }
+                Parsed::Partial => break,
+                Parsed::Reject(reject) => {
+                    respond_reject(stats, &mut out, reject);
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if !out.is_empty() {
+            responded = true;
+            if stream.write_all(&out).is_err() {
+                stats.closed_unanswered.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            stats
+                .bytes_out
+                .fetch_add(out.len() as u64, Ordering::Relaxed);
+        }
+        if close {
+            let _ = stream.flush();
+            return;
+        }
+
+        // Header deadline: a partial head may not linger across reads.
+        if !buf.is_empty() {
+            let started = *head_started.get_or_insert_with(Instant::now);
+            if started.elapsed() >= config.header_deadline {
+                out.clear();
+                respond_reject(stats, &mut out, Reject::Timeout);
+                if stream.write_all(&out).is_ok() {
+                    stats
+                        .bytes_out
+                        .fetch_add(out.len() as u64, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() || !responded {
+                    stats.closed_unanswered.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Ok(n) => {
+                if buf.is_empty() {
+                    head_started = Some(Instant::now());
+                }
+                stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if buf.is_empty() {
+                    // Idle keep-alive connection: close quietly unless
+                    // it never produced a request.
+                    if !responded {
+                        stats.closed_unanswered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                // Mid-head stall: loop back so the header deadline
+                // (checked above) decides when to give up with 408.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                stats.closed_unanswered.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn count_response(stats: &ServerStats, status: u16, draining: bool) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    match status {
+        200..=299 => stats.responses_2xx.fetch_add(1, Ordering::Relaxed),
+        503 if draining => stats.drain_rejects.fetch_add(1, Ordering::Relaxed),
+        408 => stats.timeouts.fetch_add(1, Ordering::Relaxed),
+        400..=499 => stats.responses_4xx.fetch_add(1, Ordering::Relaxed),
+        _ => stats.responses_5xx.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+fn respond_reject(stats: &ServerStats, out: &mut Vec<u8>, reject: Reject) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    // Every parse reject is the client's fault — 501/505 carry 5xx
+    // status codes on the wire but are counted with the 4xx family so
+    // `responses_5xx` stays a pure handler-failure signal.
+    match reject.status() {
+        408 => stats.timeouts.fetch_add(1, Ordering::Relaxed),
+        _ => stats.responses_4xx.fetch_add(1, Ordering::Relaxed),
+    };
+    let body = format!("{{\"error\":{}}}", json_quote(reject.detail()));
+    write_response(out, reject.status(), &body, false, true, None);
+}
+
+fn json_quote(s: &str) -> String {
+    let mut out = String::new();
+    spotlight_core::json::write_str(&mut out, s);
+    out
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serializes one response. `head_only` suppresses the body while
+/// keeping the real `Content-Length` (HEAD semantics).
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    head_only: bool,
+    close: bool,
+    retry_after: Option<u32>,
+) {
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            status,
+            reason(status),
+            body.len()
+        )
+        .as_bytes(),
+    );
+    if let Some(secs) = retry_after {
+        out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+    }
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    if !head_only {
+        out.extend_from_slice(body.as_bytes());
+    }
+}

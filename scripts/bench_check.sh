@@ -4,7 +4,16 @@
 # (tick/*, tick_threads/*, tick_component/*, store_query_100k/*)
 # against the latest committed BENCH_PR<N>.json. A tracked bench whose
 # fresh median exceeds baseline × TOLERANCE (default 1.3) fails the
-# check.
+# check — but not before being re-run ONCE in isolation: on this 1-CPU
+# box a snapshot run shares the core with cargo/rustc noise, which
+# produces occasional false 1.5-1.7x readings that vanish when the
+# bench runs alone. Only a bench that regresses in BOTH the shared run
+# and its isolated re-run fails the gate. (With a pre-generated FRESH
+# snapshot there is nothing to re-run, so the first verdict stands.)
+#
+# The fresh snapshot also runs the HTTP load generator with `--check`
+# (see bench_snapshot.sh): serving capacity, overload shedding, and
+# drain are gated on every fresh bench_check run.
 #
 # Usage:
 #   scripts/bench_check.sh                 # fresh run vs latest BENCH_PR<N>.json
@@ -16,6 +25,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOLERANCE="${TOLERANCE:-1.3}"
+# The bench suites a regressed name might live in (the shim's CLI
+# filter makes a no-match suite run a cheap no-op).
+SUITES=(substrate store analysis policy)
 # tick_threads/{2,4,...} are deliberately NOT gated: they measure the
 # host's parallelism (a 1-core CI box vs a multicore baseline host
 # would "regress" 3x with zero code change). Only the single-thread
@@ -44,10 +56,14 @@ if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
     exit 2
 fi
 
+SCRATCH="$(mktemp -d /tmp/bench_check.XXXXXX)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
 FRESH="${2:-}"
+FRESH_GENERATED=0
 if [ -z "$FRESH" ]; then
-    FRESH="$(mktemp /tmp/bench_check.XXXXXX.json)"
-    trap 'rm -f "$FRESH"' EXIT
+    FRESH="$SCRATCH/fresh.json"
+    FRESH_GENERATED=1
     scripts/bench_snapshot.sh "$FRESH" >&2
 fi
 
@@ -60,40 +76,71 @@ extract() {
         | sed 's/"name":"//; s/","median_ns":/ /' || true
 }
 
-extract "$BASELINE" > /tmp/bench_check_base.$$
-extract "$FRESH" > /tmp/bench_check_fresh.$$
+extract "$BASELINE" > "$SCRATCH/base.pairs"
+extract "$FRESH" > "$SCRATCH/fresh.pairs"
 
 # An empty table means the snapshot format drifted away from extract()'s
 # pattern — fail loudly rather than comparing against nothing.
-for f in /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$; do
+for f in "$SCRATCH/base.pairs" "$SCRATCH/fresh.pairs"; do
     if [ ! -s "$f" ]; then
         echo "bench_check: no benches extracted from ${BASELINE}/${FRESH} (format drift?)" >&2
-        rm -f /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$
         exit 2
     fi
 done
 
-awk -v tol="$TOLERANCE" -v tracked="$TRACKED" '
-    # Keep the FIRST median per name: snapshots may embed older baseline
-    # sections (e.g. BENCH_PR1.json repeats seed medians) further down.
-    NR == FNR { if (!($1 in base)) base[$1] = $2; next }
-    $1 ~ tracked {
-        if (!($1 in base)) {
-            printf "  NEW      %-55s %12.1f ns (no baseline)\n", $1, $2
-            next
+# compare <base.pairs> <fresh.pairs> <regressed-names-out>
+# Prints the comparison table; writes each regressed name to $3; exits
+# non-zero when anything regressed. First median per name wins on both
+# sides: snapshots may embed older baseline sections further down, and
+# a retried fresh run prepends its isolated medians.
+compare() {
+    : > "$3"
+    awk -v tol="$TOLERANCE" -v tracked="$TRACKED" -v rout="$3" '
+        NR == FNR { if (!($1 in base)) base[$1] = $2; next }
+        $1 ~ tracked && !($1 in seen) {
+            seen[$1] = 1
+            if (!($1 in base)) {
+                printf "  NEW      %-55s %12.1f ns (no baseline)\n", $1, $2
+                next
+            }
+            ratio = $2 / base[$1]
+            status = (ratio <= tol) ? "ok" : "REGRESSED"
+            printf "  %-8s %-55s %12.1f -> %12.1f ns (%.2fx)\n", status, $1, base[$1], $2, ratio
+            if (ratio > tol) { failures++; print $1 >> rout }
         }
-        ratio = $2 / base[$1]
-        status = (ratio <= tol) ? "ok" : "REGRESSED"
-        printf "  %-8s %-55s %12.1f -> %12.1f ns (%.2fx)\n", status, $1, base[$1], $2, ratio
-        if (ratio > tol) failures++
-    }
-    END {
-        if (failures > 0) {
-            printf "bench_check: %d tracked bench(es) regressed beyond %.2fx\n", failures, tol
-            exit 1
+        END {
+            if (failures > 0) {
+                printf "bench_check: %d tracked bench(es) regressed beyond %.2fx\n", failures, tol
+                exit 1
+            }
+            print "bench_check: all tracked benches within tolerance"
         }
-        print "bench_check: all tracked benches within tolerance"
-    }
-' /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$ && rc=0 || rc=$?
-rm -f /tmp/bench_check_base.$$ /tmp/bench_check_fresh.$$
-exit "$rc"
+    ' "$1" "$2"
+}
+
+if compare "$SCRATCH/base.pairs" "$SCRATCH/fresh.pairs" "$SCRATCH/regressed"; then
+    exit 0
+fi
+
+if [ "$FRESH_GENERATED" -ne 1 ] || [ ! -s "$SCRATCH/regressed" ]; then
+    exit 1
+fi
+
+echo "bench_check: re-running $(wc -l < "$SCRATCH/regressed") regressed bench(es) once in isolation" >&2
+RETRY_LINES="$SCRATCH/retry.lines"
+: > "$RETRY_LINES"
+while IFS= read -r name; do
+    for suite in "${SUITES[@]}"; do
+        CRITERION_JSON="$RETRY_LINES" cargo bench --bench "$suite" -- "$name" >&2
+    done
+done < "$SCRATCH/regressed"
+
+extract "$RETRY_LINES" > "$SCRATCH/retry.pairs"
+if [ ! -s "$SCRATCH/retry.pairs" ]; then
+    echo "bench_check: isolated re-run produced no measurements (filter drift?)" >&2
+    exit 1
+fi
+
+echo "== after isolated re-run =="
+cat "$SCRATCH/retry.pairs" "$SCRATCH/fresh.pairs" > "$SCRATCH/fresh2.pairs"
+compare "$SCRATCH/base.pairs" "$SCRATCH/fresh2.pairs" "$SCRATCH/regressed2"

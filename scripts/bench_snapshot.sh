@@ -28,12 +28,25 @@ done
 echo ">> cargo run --release -p spotlight-bench --bin store_footprint" >&2
 FOOTPRINT="$(cargo run --release -p spotlight-bench --bin store_footprint 2>/dev/null | tail -n1)"
 
+# HTTP serving capacity, overload shedding, and drain over the same
+# month-scale store (crates/bench/src/bin/loadgen.rs). `--check` gates
+# the run: >=100k qps capacity, excess load shed with 503+Retry-After
+# at 2x, accepted p99 within 5x of the 1x p99, zero handler 5xx and
+# zero panics. A busy 1-CPU box can produce one false miss, so a
+# failed check is retried once before failing the snapshot.
+echo ">> cargo run --release -p spotlight-bench --bin loadgen -- --check" >&2
+LOADGEN="$(cargo run --release -p spotlight-bench --bin loadgen -- --check 2>/dev/null | tail -n1)" || {
+    echo ">> loadgen check failed; retrying once on a quieter core" >&2
+    LOADGEN="$(cargo run --release -p spotlight-bench --bin loadgen -- --check 2>/dev/null | tail -n1)"
+}
+
 {
     echo '{'
     echo "  \"generated_by\": \"scripts/bench_snapshot.sh\","
     echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"suites\": [$(printf '"%s",' "${SUITES[@]}" | sed 's/,$//')],"
     echo "  \"store_footprint\": ${FOOTPRINT:-null},"
+    echo "  \"http_loadgen\": ${LOADGEN:-null},"
     echo '  "benches": ['
     sed 's/^/    /; $!s/$/,/' "$LINES"
     echo '  ]'

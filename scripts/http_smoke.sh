@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# HTTP service smoke for the verify path: seeds a durable store, serves
+# it, and drives the server with concurrent well-behaved clients plus
+# hostile ones — slow-loris tricklers, oversized request lines/headers/
+# bodies, malformed and unsupported requests — then drains mid-flight.
+# Asserts overload is shed (503 + Retry-After) rather than crashing,
+# every hostile input gets the right status code, zero handler 5xx and
+# zero worker panics, and the drained store closes cleanly so the
+# restart replays nothing (see crates/bench/src/bin/http_smoke.rs).
+#
+# Usage:
+#   scripts/http_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== http smoke: building release harness =="
+cargo build --release -p spotlight-bench --bin http_smoke
+
+echo "== http smoke: hostile-client and drain scenarios =="
+./target/release/http_smoke
+
+echo "http smoke: OK"

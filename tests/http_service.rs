@@ -1,0 +1,241 @@
+//! Property and fault-matrix tests for the HTTP service layer
+//! (crates/serve): the parser must never panic on arbitrary bytes,
+//! malformed input must map to 4xx-family rejects (never a successful
+//! parse), permit accounting must stay balanced under any
+//! acquire/release interleaving, and the server must enforce its
+//! deadline and size caps with the documented status codes.
+
+use proptest::prelude::*;
+use spotlight_core::snapshot::SnapshotHub;
+use spotlight_core::store::{DataStore, SharedStore};
+use spotlight_serve::admission::{Permit, ServerStats};
+use spotlight_serve::parser::{parse, Limits, Parsed};
+use spotlight_serve::server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- parser
+
+proptest! {
+    // Raw fuzz: any byte soup, any (sane) limits — parse must return,
+    // not panic, and a Complete must consume within the buffer.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+        max_line in 8usize..128,
+        max_head in 16usize..256,
+        max_body in 0usize..64,
+    ) {
+        let limits = Limits {
+            max_request_line: max_line,
+            max_header_bytes: max_head,
+            max_headers: 4,
+            max_body,
+        };
+        match parse(&bytes, &limits) {
+            Parsed::Complete { consumed, .. } => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(consumed > 0);
+            }
+            Parsed::Partial | Parsed::Reject(_) => {}
+        }
+    }
+
+    // Structured fuzz: a valid request corrupted by random byte
+    // writes. Exercises the deep header paths that pure byte soup
+    // rarely reaches. Same invariants.
+    #[test]
+    fn parser_never_panics_on_corrupted_requests(
+        writes in proptest::collection::vec((0usize..96, any::<u8>()), 0..12),
+    ) {
+        let mut bytes = b"GET /v1/availability?market=a/b/c HTTP/1.1\r\n\
+                          Host: spot\r\nConnection: keep-alive\r\n\
+                          Content-Length: 3\r\n\r\nabc"
+            .to_vec();
+        for (at, b) in writes {
+            let at = at % bytes.len();
+            bytes[at] = b;
+        }
+        match parse(&bytes, &Limits::default()) {
+            Parsed::Complete { consumed, .. } => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(consumed > 0);
+            }
+            Parsed::Partial | Parsed::Reject(_) => {}
+        }
+    }
+
+    // A head whose request line opens with garbage can reject or wait
+    // for more bytes, but must never parse as a request.
+    #[test]
+    fn malformed_request_lines_never_complete(
+        junk in proptest::collection::vec(1u8..255, 1..40),
+    ) {
+        // Force a non-method first byte so the line cannot be valid.
+        let mut bytes = vec![b'@'];
+        bytes.extend_from_slice(&junk);
+        bytes.extend_from_slice(b" / HTTP/1.1\r\n\r\n");
+        match parse(&bytes, &Limits::default()) {
+            Parsed::Complete { .. } => prop_assert!(false, "garbage parsed as a request"),
+            Parsed::Partial => {}
+            Parsed::Reject(reject) => {
+                let status = reject.status();
+                prop_assert!(
+                    (400..=431).contains(&status) || status == 501 || status == 505,
+                    "unexpected reject status {status}"
+                );
+            }
+        }
+    }
+
+    // Permit accounting: any interleaving of acquires and releases
+    // keeps the gauge within the cap and ends exactly at the held
+    // count — no slot is ever leaked or double-freed.
+    #[test]
+    fn permit_accounting_stays_balanced(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..8), 1..60),
+        cap in 1u64..6,
+    ) {
+        let stats = Arc::new(ServerStats::default());
+        let mut held: Vec<Permit> = Vec::new();
+        for (acquire, pick) in ops {
+            if acquire {
+                if let Some(permit) = Permit::try_acquire(&stats, cap) {
+                    held.push(permit);
+                }
+                prop_assert!(held.len() as u64 <= cap);
+            } else if !held.is_empty() {
+                held.swap_remove(pick % held.len());
+            }
+            let gauge = stats.open_connections.load(Ordering::Relaxed);
+            prop_assert_eq!(gauge, held.len() as u64);
+        }
+        drop(held);
+        prop_assert_eq!(stats.open_connections.load(Ordering::Relaxed), 0);
+    }
+}
+
+// ------------------------------------------------------- server matrix
+
+fn start_server(config: ServerConfig) -> (Server, SharedStore) {
+    let store: SharedStore = Arc::new(DataStore::new());
+    let hub = Arc::new(SnapshotHub::new(
+        store.snapshot(cloud_sim::time::SimTime::ZERO),
+    ));
+    let server = Server::start("127.0.0.1:0", &store, hub, config).expect("start server");
+    (server, store)
+}
+
+/// Writes `request` raw and returns the response status (0 when the
+/// server closed without answering).
+fn raw_status(server: &Server, request: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(request).expect("write");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&buf)
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn finish(server: Server) {
+    let report = server.drain(Duration::from_secs(5));
+    assert!(!report.forced, "drain deadline hit: {:?}", report.stats);
+    assert_eq!(
+        report.stats.panics, 0,
+        "worker panicked: {:?}",
+        report.stats
+    );
+    assert_eq!(
+        report.stats.responses_5xx, 0,
+        "handler 5xx: {:?}",
+        report.stats
+    );
+}
+
+#[test]
+fn header_deadline_expiry_times_out_with_408() {
+    let (server, _store) = start_server(ServerConfig {
+        read_timeout: Duration::from_millis(50),
+        header_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+    // A partial head that never completes must be answered 408 by the
+    // server's clock, not held forever.
+    let status = raw_status(&server, b"GET /healthz HTT");
+    assert_eq!(status, 408);
+    finish(server);
+}
+
+#[test]
+fn request_line_over_cap_is_414() {
+    let (server, _store) = start_server(ServerConfig {
+        limits: Limits {
+            max_request_line: 64,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let request = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(200));
+    assert_eq!(raw_status(&server, request.as_bytes()), 414);
+    finish(server);
+}
+
+#[test]
+fn headers_over_cap_are_431() {
+    let (server, _store) = start_server(ServerConfig {
+        limits: Limits {
+            max_header_bytes: 256,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let request = format!(
+        "GET /healthz HTTP/1.1\r\n{}\r\n",
+        "X-Pad: aaaaaaaaaaaaaaaa\r\n".repeat(32)
+    );
+    assert_eq!(raw_status(&server, request.as_bytes()), 431);
+    finish(server);
+}
+
+#[test]
+fn declared_body_over_cap_is_413() {
+    let (server, _store) = start_server(ServerConfig::default());
+    let status = raw_status(
+        &server,
+        b"GET /healthz HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+    finish(server);
+}
+
+#[test]
+fn malformed_bytes_get_400_and_unknown_routes_404() {
+    let (server, _store) = start_server(ServerConfig::default());
+    assert_eq!(raw_status(&server, b"@@@@\r\n\r\n"), 400);
+    assert_eq!(raw_status(&server, b"GET /nope HTTP/1.1\r\n\r\n"), 404);
+    assert_eq!(
+        raw_status(&server, b"GET /v1/availability?market=zzz HTTP/1.1\r\n\r\n"),
+        400
+    );
+    finish(server);
+}
