@@ -69,6 +69,49 @@ fn bench_tick_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw dispatch cost of the persistent worker pool versus spawning OS
+/// threads per call — the overhead every parallel tick used to pay.
+/// Each iteration submits `TASKS` trivial jobs and joins them;
+/// `pool_scope` reuses parked workers, `thread_scope` spawns fresh
+/// threads the way `Cloud::tick` did before the pool existed.
+/// bench_check gates `pool_scope_4` and separately asserts the pool is
+/// at least 5x cheaper than the thread-spawn variant.
+fn bench_pool_dispatch(c: &mut Criterion) {
+    use spotlight_pool::WorkerPool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const TASKS: usize = 4;
+    let counter = AtomicU64::new(0);
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.bench_function("pool_scope_4", |b| {
+        let pool = WorkerPool::new(TASKS);
+        b.iter(|| {
+            pool.scope(|s| {
+                for _ in 0..TASKS {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            black_box(counter.load(Ordering::Relaxed));
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("thread_scope_4", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..TASKS {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            black_box(counter.load(Ordering::Relaxed));
+        });
+    });
+    group.finish();
+}
+
 fn bench_tick_components(c: &mut Criterion) {
     use cloud_sim::config::DemandProfile;
     use cloud_sim::demand::{surge_weights, LevelGrid, MarketDemand};
@@ -99,6 +142,22 @@ fn bench_tick_components(c: &mut Criterion) {
         b.iter(|| {
             demand.level_masses_into(&grid, 50.0, &sw, &mut out);
             black_box(clear(&profile.level_multiples, &out, 40.0))
+        });
+    });
+    // The fused path `clear_markets` actually runs: fixed-width mass
+    // fill + running total, then the branch-free 15-level walk.
+    group.bench_function("level_masses_and_clear_fused", |b| {
+        use cloud_sim::market::clear_with_total;
+        let demand = MarketDemand::new();
+        let mut out = vec![0.0; grid.len()];
+        b.iter(|| {
+            let total = demand.level_masses_and_total_into(&grid, 50.0, &sw, &mut out);
+            black_box(clear_with_total(
+                &profile.level_multiples,
+                &out,
+                total,
+                40.0,
+            ))
         });
     });
     group.bench_function("clear_markets_only_testbed", |b| {
@@ -158,6 +217,7 @@ criterion_group!(
     benches,
     bench_tick,
     bench_tick_threads,
+    bench_pool_dispatch,
     bench_tick_components,
     bench_clearing,
     bench_probe_roundtrip

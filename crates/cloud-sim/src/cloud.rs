@@ -26,10 +26,17 @@
 //!   billing-charge buffers that cannot be written to the shared
 //!   [`TraceStore`]/[`Ledger`] mid-tick.
 //!
-//! [`Cloud::tick`] fans the shards out across `std::thread::scope`
-//! workers ([`crate::config::SimConfig::threads`]; `1` runs them inline
-//! with no spawned threads) and then merges every shard's buffered
-//! events, trace ops, and charges in ascending region order.
+//! [`Cloud::tick`] fans the shards out across the **shared persistent
+//! worker pool** ([`spotlight_pool::WorkerPool`]) — up to
+//! [`crate::config::SimConfig::threads`] worker groups per tick; `1`
+//! runs them inline with no cross-thread dispatch at all — and then
+//! merges every shard's buffered events, trace ops, and charges in
+//! ascending region order. Earlier revisions spawned OS threads via
+//! `std::thread::scope` on every tick; the pool's parked workers make
+//! dispatch a queue push + wakeup instead of a `clone(2)` (the
+//! `pool_dispatch` bench in `crates/bench` tracks the ratio), and the
+//! HTTP service and snapshot builder share the same pool, sized once
+//! to the host.
 //!
 //! # The determinism contract
 //!
@@ -48,9 +55,10 @@
 //!
 //! `Cloud::tick` is the simulator's hot path: the repro experiments run
 //! it millions of times, so the steady-state tick performs **no heap
-//! allocation** (with `threads = 1`; higher settings pay the OS cost of
-//! scoped-thread spawning plus a worker-group vector per tick, which is
-//! the price of the parallel speedup).
+//! allocation** (with `threads = 1`; higher settings pay one boxed
+//! pool task per worker group plus the worker-group vector per tick —
+//! the persistent pool's dispatch cost, orders of magnitude below the
+//! per-tick thread spawns it replaced).
 //! Concretely:
 //!
 //! * the demand profile, level grid, and per-pool market indices are
@@ -73,17 +81,19 @@
 use crate::billing::{Ledger, UsageKind};
 use crate::catalog::Catalog;
 use crate::chaos::ChaosState;
-use crate::config::{DemandProfile, SimConfig};
+use crate::config::{DemandProfile, SimConfig, PARALLEL_AUTO_MIN_MARKETS};
 use crate::demand::{surge_weights, LevelGrid, MarketDemand, PoolDemand, RegionDemand, Surge};
 use crate::ids::{Family, InstanceId, MarketId, PoolId, SpotRequestId};
 use crate::lifecycle::{OdState, SpotRequestState, Tracked};
-use crate::market::{clear, MarketState};
+use crate::market::{clear_with_total, MarketState};
 use crate::pool::CapacityPool;
 use crate::price::Price;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceStore;
+use spotlight_pool::WorkerPool;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Something observable that happened inside the cloud.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,13 +296,6 @@ const REGION_STREAM_BASE: u64 = 2;
 /// enabling chaos never perturbs a seed's demand trajectory, and each
 /// region's chaos draws stay shard-local (the determinism contract).
 const CHAOS_STREAM_BASE: u64 = 16;
-
-/// Below this many markets, `threads = 0` (auto) resolves to `1`: a
-/// testbed-sized tick runs in a few microseconds, so per-tick scoped
-/// thread spawns would cost more than the whole tick. The full EC2
-/// catalog (5184 markets) is far above this. Explicit `threads` values
-/// are always honoured.
-const PARALLEL_AUTO_MIN_MARKETS: usize = 512;
 
 /// A buffered [`TraceStore`] write, applied at merge time because the
 /// store is shared across shards.
@@ -649,14 +652,18 @@ impl RegionShard {
                 let mi = self.pools[pi].market_indices[k];
                 let m = &mut self.markets[mi];
                 m.demand.tick(now, profile, &mut self.rng);
-                m.demand.level_masses_into(
+                // Fused fill-sum-walk over the fixed-width level
+                // arrays: masses are written, totalled, and cleared in
+                // one L1-resident pass (bit-identical to the separate
+                // `level_masses_into` + `clear` it replaced).
+                let total = m.demand.level_masses_and_total_into(
                     ctx.level_grid,
                     m.state.base_mass,
                     ctx.surge_dist,
                     &mut self.scratch,
                 );
                 let supply_m = supply_units * m.state.weight / m.state.units as f64;
-                let clearing = clear(multiples, &self.scratch, supply_m);
+                let clearing = clear_with_total(multiples, &self.scratch, total, supply_m);
                 // Draw a propagation lag only when the price actually
                 // moves; stable markets skip the randomness entirely.
                 let price_moves =
@@ -1009,6 +1016,13 @@ pub struct Cloud {
     /// over shard market counts, fixed at construction. Scheduling only
     /// — results never depend on the grouping.
     group_of_shard: Vec<usize>,
+    /// The shared persistent worker pool the parallel tick fans out
+    /// on (the process-wide [`WorkerPool::global`] instance, grown to
+    /// the resolved worker count at construction).
+    pool: Arc<WorkerPool>,
+    /// Test/bench escape hatch: `true` restores the pre-pool per-tick
+    /// `std::thread::scope` fan-out. See [`Cloud::force_scoped_fanout`].
+    scoped_fanout: bool,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -1185,11 +1199,19 @@ impl Cloud {
             n => n,
         };
 
+        // The shared persistent pool runs the parallel fan-out; make
+        // sure it has at least as many workers as the tick will ask
+        // for (a no-op when another component already grew it).
+        let pool = WorkerPool::global();
+        let workers = threads.min(shards.len()).max(1);
+        if workers > 1 {
+            pool.reserve(workers);
+        }
+
         // Longest-processing-time assignment of shards to workers: the
         // heaviest regions (us-east-1 dominates real catalogs) land on
         // the least-loaded worker, so the parallel phase's critical path
         // is balanced rather than whatever a contiguous split yields.
-        let workers = threads.min(shards.len()).max(1);
         let mut group_of_shard = vec![0usize; shards.len()];
         if workers > 1 {
             let mut order: Vec<usize> = (0..shards.len()).collect();
@@ -1219,6 +1241,8 @@ impl Cloud {
             level_grid,
             threads,
             group_of_shard,
+            pool,
+            scoped_fanout: false,
         }
     }
 
@@ -1395,26 +1419,54 @@ impl Cloud {
             }
         } else {
             // Distribute shards by the precomputed load-balanced
-            // grouping, one scoped worker per non-empty group.
+            // grouping, one pool task per non-empty group. The pool's
+            // scope is the same join barrier `thread::scope` gave us —
+            // every shard has ticked before the merge below runs —
+            // without the per-tick thread spawn/join cycle.
             let mut groups: Vec<Vec<&mut RegionShard>> = (0..workers).map(|_| Vec::new()).collect();
             for (i, shard) in self.shards.iter_mut().enumerate() {
                 groups[self.group_of_shard[i]].push(shard);
             }
             let ctx = &ctx;
-            std::thread::scope(|s| {
-                for group in groups {
-                    if group.is_empty() {
-                        continue;
-                    }
-                    s.spawn(move || {
-                        for shard in group {
-                            shard.tick(ctx);
+            if self.scoped_fanout {
+                std::thread::scope(|s| {
+                    for group in groups {
+                        if group.is_empty() {
+                            continue;
                         }
-                    });
-                }
-            });
+                        s.spawn(move || {
+                            for shard in group {
+                                shard.tick(ctx);
+                            }
+                        });
+                    }
+                });
+            } else {
+                self.pool.scope(|s| {
+                    for group in groups {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        s.spawn(move || {
+                            for shard in group {
+                                shard.tick(ctx);
+                            }
+                        });
+                    }
+                });
+            }
         }
         self.merge_shard_outputs();
+    }
+
+    /// Test/bench escape hatch: `true` fans the parallel tick out via
+    /// per-tick `std::thread::scope` spawns (the pre-pool dispatch)
+    /// instead of the shared worker pool. Results are bit-identical
+    /// either way — `tests/determinism.rs` proves it — only dispatch
+    /// cost differs. Not part of the simulation API.
+    #[doc(hidden)]
+    pub fn force_scoped_fanout(&mut self, scoped: bool) {
+        self.scoped_fanout = scoped;
     }
 
     /// Benchmark hook: one market-clearing pass at the current time,

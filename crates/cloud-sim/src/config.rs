@@ -402,6 +402,25 @@ impl Default for DemandProfile {
     }
 }
 
+/// Below this many catalog markets, `threads = 0` (auto) resolves to
+/// `1` and the tick runs inline. Explicit `threads` values are always
+/// honoured.
+///
+/// Derivation (PR 10, re-derived for the persistent worker pool): the
+/// `pool_dispatch/pool_scope_4` bench — submitting four worker-group
+/// tasks to the parked pool and joining the barrier — measures
+/// ≈ 1.4 µs on the 1-CPU reference host (vs ≈ 98 µs for the
+/// `thread_scope_4` spawn/join it replaced, a ~70× drop), while one
+/// market's share of the tick is ≈ 93 ns
+/// (`tick/standard_catalog_tick_5184_markets` ≈ 480 µs over 5184
+/// markets). A `W`-worker fan-out saves at most `T·(W−1)/W` of a
+/// `T`-long tick, so parallelism breaks even around `T ≈ 2·dispatch ≈
+/// 2.8 µs ≈ 30 markets; 128 keeps a ~4× margin for the boxed task and
+/// worker-group vector each parallel tick allocates. The pre-pool
+/// cutoff was 512, sized to per-tick `std::thread::scope` spawns; the
+/// pool moves the crossover down 4×.
+pub(crate) const PARALLEL_AUTO_MIN_MARKETS: usize = 128;
+
 /// Top-level simulator configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -425,13 +444,14 @@ pub struct SimConfig {
     pub record_all_prices: bool,
     /// Worker threads for the region-sharded tick: `0` (auto) resolves
     /// at construction to the machine's available parallelism — or to
-    /// `1` for small catalogs, where per-tick thread spawning would cost
-    /// more than the tick itself; `1` runs the shards inline on the
-    /// calling thread (no threads are spawned); higher values are always
-    /// honoured and fan region shards out across that many
-    /// `std::thread::scope` workers. The thread count affects wall-clock
-    /// time only — results are bit-identical at any setting (see the
-    /// determinism contract in [`crate::cloud`]).
+    /// `1` for catalogs under [`PARALLEL_AUTO_MIN_MARKETS`] markets,
+    /// where even the persistent pool's dispatch would cost more than
+    /// the tick itself; `1` runs the shards inline on the calling
+    /// thread (no cross-thread dispatch); higher values are always
+    /// honoured and fan region shards out across that many workers of
+    /// the shared persistent pool (`spotlight_pool`). The thread count
+    /// affects wall-clock time only — results are bit-identical at any
+    /// setting (see the determinism contract in [`crate::cloud`]).
     pub threads: usize,
     /// Deterministic fault injection (see [`crate::chaos`]). Defaults to
     /// everything off; stochastic faults draw from dedicated per-region

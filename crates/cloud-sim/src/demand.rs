@@ -338,6 +338,36 @@ impl MarketDemand {
                 grid.norm_profile[i] * scaled_base * tilt_factor + surge_mass * surge_weights[i];
         }
     }
+
+    /// [`MarketDemand::level_masses_into`] fused with the mass sum the
+    /// clearing step needs: writes the bid-level masses into `out` and
+    /// returns `Σ out[i]`, accumulated left to right over the
+    /// just-written (L1-hot) array — bit-identical to re-summing the
+    /// slice, which is exactly what [`crate::market::clear`] would
+    /// otherwise do. The tick loop pairs this with
+    /// [`crate::market::clear_with_total`] so each market's masses are
+    /// produced, summed, and walked in one pass over flat fixed-width
+    /// arrays with no rescan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the grid.
+    pub fn level_masses_and_total_into(
+        &self,
+        grid: &LevelGrid,
+        base_mass: f64,
+        surge_weights: &[f64],
+        out: &mut [f64],
+    ) -> f64 {
+        self.level_masses_into(grid, base_mass, surge_weights, out);
+        // Constant-trip-count sum on the fixed 15-level grid (same
+        // left-to-right order as the generic fallback — FP addition
+        // order is part of the determinism contract).
+        match <&[f64; FIXED_LEVELS]>::try_from(&*out) {
+            Ok(m) => m.iter().sum(),
+            Err(_) => out.iter().sum(),
+        }
+    }
 }
 
 impl Default for MarketDemand {

@@ -39,7 +39,6 @@ pub struct Clearing {
 pub fn clear(multiples: &[f64], masses: &[f64], supply: f64) -> Clearing {
     assert!(!multiples.is_empty(), "need at least one bid level");
     assert_eq!(multiples.len(), masses.len(), "level arrays must align");
-    let n = multiples.len();
     // Summing through a fixed-width array gives the compiler a constant
     // trip count to unroll on the common 15-level grid; the summation
     // order (and therefore the result) is unchanged.
@@ -47,6 +46,31 @@ pub fn clear(multiples: &[f64], masses: &[f64], supply: f64) -> Clearing {
         Ok(m) => m.iter().sum(),
         Err(_) => masses.iter().sum(),
     };
+    clear_with_total(multiples, masses, total, supply)
+}
+
+/// [`clear`] with a precomputed `total = Σ masses` — the fused tick
+/// path gets the sum for free from
+/// [`crate::demand::MarketDemand::level_masses_and_total_into`] and
+/// must not rescan the masses. `total` has to be the left-to-right sum
+/// of `masses` bit for bit, or the floor decision (`total <= supply`)
+/// could disagree with [`clear`] and break replay determinism.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or their lengths differ.
+pub fn clear_with_total(multiples: &[f64], masses: &[f64], total: f64, supply: f64) -> Clearing {
+    assert!(!multiples.is_empty(), "need at least one bid level");
+    assert_eq!(multiples.len(), masses.len(), "level arrays must align");
+    let n = multiples.len();
+    debug_assert_eq!(
+        total,
+        match <&[f64; crate::demand::FIXED_LEVELS]>::try_from(masses) {
+            Ok(m) => m.iter().sum::<f64>(),
+            Err(_) => masses.iter().sum(),
+        },
+        "total must be the left-to-right sum of masses"
+    );
 
     if supply <= 0.0 {
         return Clearing {
@@ -65,6 +89,40 @@ pub fn clear(multiples: &[f64], masses: &[f64], supply: f64) -> Clearing {
             served: total,
             at_cap: false,
             at_floor: true,
+        };
+    }
+
+    // Fast path for the fixed 15-level grid: a branch-free marginal-
+    // level walk with a constant trip count. Each step keeps the exact
+    // subtraction chain of the early-exit loop below (`remaining`
+    // freezes once the marginal level is found), so the selected level
+    // — and every float — is bit-identical to the generic walk; the
+    // selects compile to cmov/blend instead of a data-dependent branch
+    // the predictor keeps missing near the clearing level.
+    if let Ok(masses) = <&[f64; crate::demand::FIXED_LEVELS]>::try_from(masses) {
+        let mut remaining = supply;
+        let mut level = 0usize;
+        let mut found = false;
+        for i in (0..crate::demand::FIXED_LEVELS).rev() {
+            let hit = !found && masses[i] >= remaining;
+            level = if hit { i } else { level };
+            found |= hit;
+            remaining = if found {
+                remaining
+            } else {
+                remaining - masses[i]
+            };
+        }
+        debug_assert!(found, "total > supply guarantees a marginal level exists");
+        return Clearing {
+            level_idx: level,
+            price_multiple: multiples[level],
+            served: supply,
+            // At the first iteration `remaining == supply`, so the
+            // early-exit loop's cap test (`masses[i] > remaining &&
+            // remaining == supply` at `i == n-1`) reduces to this.
+            at_cap: level == n - 1 && masses[n - 1] > supply,
+            at_floor: false,
         };
     }
 
@@ -293,5 +351,69 @@ mod tests {
     #[should_panic(expected = "align")]
     fn mismatched_slices_panic() {
         let _ = clear(&MULTIPLES, &[1.0, 2.0], 1.0);
+    }
+
+    /// The branch-free fixed-15 walk must agree with the generic
+    /// early-exit walk bit for bit — same level, price, served, and
+    /// flags — across floor, cap, marginal, and exact-fill regimes.
+    #[test]
+    fn fixed_15_branchless_walk_matches_generic() {
+        let multiples: [f64; 15] = core::array::from_fn(|i| 0.1 + 0.7 * i as f64);
+        // A pseudo-random but deterministic mass pattern, including
+        // zero levels and an uneven tail.
+        let mut masses = [0.0f64; 15];
+        let mut x = 9_876_543_210.0_f64;
+        for m in masses.iter_mut() {
+            x = (x * 1.103_515_245e0 + 12_345.0) % 1_000.0;
+            *m = (x / 100.0).floor() * 0.75;
+        }
+        masses[3] = 0.0;
+        masses[14] = 2.25;
+        let total: f64 = masses.iter().sum();
+        let mut supplies = vec![0.0, total * 2.0, total, 0.1, masses[14], masses[14] + 0.5];
+        // Walk a supply sweep across every level boundary.
+        let mut acc = 0.0;
+        for i in (0..15).rev() {
+            acc += masses[i];
+            supplies.push(acc);
+            supplies.push(acc + 0.25);
+        }
+        for supply in supplies {
+            let fast = clear(&multiples, &masses, supply);
+            // Force the generic path by clearing a 16-wide copy whose
+            // extra bottom level holds zero mass: the walk visits the
+            // same levels with the same remaining chain (index shifted
+            // by one), and a zero level is never marginal for
+            // `supply > 0`.
+            let mut wide_multiples = [0.05f64; 16];
+            wide_multiples[1..].copy_from_slice(&multiples);
+            let mut wide_masses = [0.0f64; 16];
+            wide_masses[1..].copy_from_slice(&masses);
+            let generic = clear(&wide_multiples, &wide_masses, supply);
+            if generic.at_floor {
+                assert!(fast.at_floor, "supply {supply}");
+                continue;
+            }
+            assert_eq!(fast.level_idx + 1, generic.level_idx, "supply {supply}");
+            assert_eq!(
+                fast.price_multiple, generic.price_multiple,
+                "supply {supply}"
+            );
+            assert_eq!(fast.served, generic.served, "supply {supply}");
+            assert_eq!(fast.at_cap, generic.at_cap, "supply {supply}");
+        }
+    }
+
+    /// `clear_with_total` with the true sum is exactly `clear`.
+    #[test]
+    fn clear_with_total_matches_clear() {
+        let masses = [4.0, 3.0, 2.0, 1.0, 0.5];
+        let total: f64 = masses.iter().sum();
+        for supply in [0.0, 0.2, 1.0, 3.0, 6.0, 12.0] {
+            assert_eq!(
+                clear_with_total(&MULTIPLES, &masses, total, supply),
+                clear(&MULTIPLES, &masses, supply),
+            );
+        }
     }
 }

@@ -23,12 +23,19 @@
 //! The crate forbids `unsafe`, so the swap is a mutex-guarded `Arc`
 //! clone rather than an `AtomicPtr` dance; the generation check keeps
 //! that mutex off the per-request path entirely.
+//!
+//! On multicore hosts the expensive half — the per-stripe deep copies
+//! in [`DataStore::snapshot`] — fans out over the shared persistent
+//! worker pool ([`spotlight_pool::WorkerPool::global`]), under all
+//! stripe read locks so consistency is unchanged; the scoped-borrow
+//! machinery lives in that crate, keeping this one `unsafe`-free.
 
 use crate::store::{DataStore, ReadView, RegionHealth, StoreRead, Stripe};
 use crate::sync::Mutex;
 use cloud_sim::ids::Region;
 use cloud_sim::price::Price;
 use cloud_sim::time::SimTime;
+use spotlight_pool::WorkerPool;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,8 +97,31 @@ impl DataStore {
     /// the resident data); call it at ingest cadence (seconds), not
     /// query cadence.
     pub fn snapshot(&self, as_of: SimTime) -> StoreSnapshot {
+        // Consistency first: take every stripe's read lock before any
+        // copying starts, exactly as the sequential path always did.
         let guards: Vec<_> = self.stripes.iter().map(|s| s.read()).collect();
-        let stripes: Box<[Stripe]> = guards.iter().map(|g| (**g).clone()).collect();
+        let pool = WorkerPool::global();
+        let stripes: Box<[Stripe]> = if pool.threads() > 1 && guards.len() > 1 {
+            // With all guards held the stripes are frozen, so the deep
+            // copies are independent — fan one clone per stripe out on
+            // the shared persistent pool. The scope's join barrier
+            // keeps the guards (and `slots`) borrowed until every
+            // clone lands.
+            let mut slots: Vec<Option<Stripe>> = Vec::new();
+            slots.resize_with(guards.len(), || None);
+            pool.scope(|s| {
+                for (slot, guard) in slots.iter_mut().zip(guards.iter()) {
+                    let stripe: &Stripe = guard;
+                    s.spawn(move || *slot = Some(stripe.clone()));
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("scope join barrier ran every clone"))
+                .collect()
+        } else {
+            guards.iter().map(|g| (**g).clone()).collect()
+        };
         drop(guards);
         StoreSnapshot {
             stripes,
@@ -314,6 +344,43 @@ mod tests {
                 });
             }
             publisher.join().unwrap();
+        });
+        assert_eq!(hub.load().len(), 200);
+    }
+
+    /// The same publisher/reader stress as above, but with every
+    /// participant running as a task on a persistent worker pool
+    /// instead of ad-hoc scoped threads — the pool's scope must give
+    /// the identical coherence guarantees (and the publisher's
+    /// `snapshot()` calls themselves exercise the pool-parallel
+    /// stripe-clone path whenever the global pool is multithreaded).
+    #[test]
+    fn concurrent_publishers_and_readers_over_pool() {
+        let store = DataStore::new();
+        let hub = SnapshotHub::new(store.snapshot(SimTime::ZERO));
+        let pool = spotlight_pool::WorkerPool::new(3);
+        pool.scope(|s| {
+            let store = &store;
+            let hub = &hub;
+            s.spawn(move || {
+                for t in 0..200u64 {
+                    store.record_probe(probe(t, market((t % 4) as u8), ProbeOutcome::Fulfilled));
+                    hub.republish(store, SimTime::from_secs(t));
+                }
+            });
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut reader = SnapshotReader::new(hub);
+                    let mut last = 0usize;
+                    for _ in 0..1000 {
+                        let snap = reader.current(hub);
+                        let n = snap.len();
+                        assert!(n >= last, "snapshots must advance monotonically");
+                        assert_eq!(snap.read().probes().count(), n);
+                        last = n;
+                    }
+                });
+            }
         });
         assert_eq!(hub.load().len(), 200);
     }

@@ -1,41 +1,60 @@
-//! The overload-safe HTTP server: bounded accept → dispatch → worker
-//! pipeline with graceful drain.
+//! The overload-safe HTTP server: bounded accept → dispatch →
+//! pool-backed drainers, with graceful drain.
 //!
 //! One acceptor thread pulls connections off the listener and either
 //! admits them (permit + bounded queue) or sheds them through
-//! [`crate::admission::Shedder`]. A fixed pool of worker threads pulls
-//! admitted connections from the shared queue; each connection is
-//! handled under `catch_unwind`, so a handler panic burns that one
-//! connection (counted) and nothing else. Workers answer from
-//! atomically published [`StoreSnapshot`]s — the live store is only
-//! touched by the health surfaces, through a `Weak` handle.
+//! [`crate::admission::Shedder`]. Admitted connections are handled by
+//! **drainer tasks on the shared persistent worker pool**
+//! ([`spotlight_pool::WorkerPool::global`]) rather than by per-server
+//! owned threads: when a connection arrives and fewer than
+//! [`ServerConfig::workers`] drainers are active, the acceptor spawns
+//! one; otherwise the connection waits in the server-local bounded
+//! queue, and each drainer, after finishing a connection, keeps
+//! popping that queue until it is empty and only then parks back into
+//! the pool. An idle server therefore occupies **zero** pool threads,
+//! and the HTTP service, the simulator tick, and the snapshot builder
+//! all share one pool sized to the host. Because drainers block on
+//! socket I/O, [`Server::start`] grows the pool to at least `workers`
+//! threads so compute tasks are never starved behind parked reads.
 //!
-//! [`Server::drain`] stops the acceptor, lets in-flight connections
-//! finish (or abandons them at the deadline), and leaves the caller
-//! holding the last strong store reference so it can
+//! Each connection is handled under `catch_unwind`, so a handler
+//! panic burns that one connection (counted) and nothing else — the
+//! pool worker survives. Drainers answer from atomically published
+//! [`StoreSnapshot`]s — the live store is only touched by the health
+//! surfaces, through a `Weak` handle.
+//!
+//! [`Server::drain`] stops the acceptor, lets queued and in-flight
+//! connections finish (or abandons them at the deadline), and leaves
+//! the caller holding the last strong store reference so it can
 //! [`spotlight_core::DataStore::close`] for a zero-replay restart.
+//!
+//! [`StoreSnapshot`]: spotlight_core::snapshot::StoreSnapshot
 
 use crate::admission::{Permit, ServerStats, Shedder, StatsSnapshot};
 use crate::parser::{self, Limits, Method, Parsed, Reject};
 use crate::router::{route, ServiceState};
 use spotlight_core::snapshot::{SnapshotHub, SnapshotReader};
 use spotlight_core::store::SharedStore;
+use spotlight_pool::WorkerPool;
+use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling admitted connections.
+    /// Maximum concurrently active drainer tasks on the shared worker
+    /// pool — the server's connection-handling concurrency, enforced
+    /// by the server's own dispatch counter (not by pool size; the
+    /// pool is grown to at least this many threads at start).
     pub workers: usize,
-    /// Dispatch-queue depth between acceptor and workers. Admission
-    /// fails (shed) when the queue is full.
+    /// Dispatch-queue depth between the acceptor and the drainers.
+    /// Admission fails (shed) when the queue is full.
     pub queue_depth: usize,
     /// Maximum simultaneously admitted connections (permit gauge).
     pub max_connections: u64,
@@ -82,24 +101,60 @@ pub struct DrainReport {
 }
 
 /// One admitted connection travelling the dispatch queue.
+#[derive(Debug)]
 struct Conn {
     stream: TcpStream,
     permit: Permit,
 }
 
+/// The acceptor↔drainer handoff: a bounded queue of admitted
+/// connections plus the active-drainer count, under one mutex so the
+/// spawn-vs-enqueue decision and a drainer's pop-vs-exit decision can
+/// never race each other into a lost connection (a drainer gives up
+/// its active slot only in the same critical section that proves the
+/// queue empty).
+#[derive(Debug, Default)]
+struct Dispatch {
+    inner: Mutex<DispatchQueue>,
+    /// Signalled whenever a drainer retires; [`Server::drain`] waits
+    /// here for quiescence.
+    idle: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DispatchQueue {
+    queue: VecDeque<Conn>,
+    /// Drainer tasks currently running on the pool for this server.
+    active: usize,
+}
+
+/// Locks ignoring poisoning: connection handling runs under
+/// `catch_unwind`, so dispatch state is never left mid-mutation.
+fn lock(dispatch: &Dispatch) -> MutexGuard<'_, DispatchQueue> {
+    dispatch
+        .inner
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// A running HTTP server. Dropping it without [`Server::drain`] leaks
-/// the threads until process exit; drain is the supported shutdown.
+/// the acceptor thread until process exit; drain is the supported
+/// shutdown. (Drainer tasks retire on their own once idle — they
+/// borrow pool threads only while connections are in flight.)
 #[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
     state: Arc<ServiceState>,
     acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
-    done_rx: Receiver<()>,
+    dispatch: Arc<Dispatch>,
 }
 
 impl Server {
-    /// Binds `addr` and starts the acceptor, shedder, and worker pool.
+    /// Binds `addr` and starts the acceptor and shedder threads.
+    /// Connection handling runs as drainer tasks on the shared
+    /// persistent worker pool, which is grown to at least
+    /// `config.workers` threads here (drainers block on socket I/O,
+    /// so the pool must oversubscribe past pure compute sizing).
     ///
     /// The server holds the store only weakly: after [`Server::drain`]
     /// the caller's `Arc` is the last one, so the store can be
@@ -121,40 +176,23 @@ impl Server {
             retry_after_secs: config.retry_after_secs,
         });
 
-        let (conn_tx, conn_rx) = sync_channel::<Conn>(config.queue_depth.max(1));
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let (done_tx, done_rx) = channel::<()>();
-
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for i in 0..config.workers.max(1) {
-            let rx = Arc::clone(&conn_rx);
-            let state = Arc::clone(&state);
-            let config = config.clone();
-            let done = done_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || {
-                    worker_loop(&rx, &state, &config);
-                    let _ = done.send(());
-                })
-                .map_err(io::Error::other)?;
-            workers.push(handle);
-        }
-        drop(done_tx);
+        let pool = WorkerPool::global();
+        pool.reserve(config.workers.max(1));
+        let dispatch = Arc::new(Dispatch::default());
 
         let acceptor = {
             let state = Arc::clone(&state);
+            let dispatch = Arc::clone(&dispatch);
             let shedder = Shedder::spawn(
                 Arc::clone(&stats),
                 config.queue_depth.max(16),
                 config.retry_after_secs,
                 config.write_timeout,
             );
-            let max_connections = config.max_connections;
             std::thread::Builder::new()
                 .name("serve-acceptor".into())
                 .spawn(move || {
-                    accept_loop(&listener, &state, &shedder, conn_tx, max_connections);
+                    accept_loop(&listener, &state, &shedder, &dispatch, &pool, &config);
                     shedder.join();
                 })
                 .map_err(io::Error::other)?
@@ -164,8 +202,7 @@ impl Server {
             local_addr,
             state,
             acceptor,
-            workers,
-            done_rx,
+            dispatch,
         })
     }
 
@@ -180,9 +217,11 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, flip `/readyz` to 503, let
-    /// queued and in-flight connections finish, and join everything —
-    /// abandoning stragglers when `deadline` expires. After this
-    /// returns, the server holds no strong store reference.
+    /// queued and in-flight connections finish, and wait for every
+    /// drainer to retire — abandoning stragglers when `deadline`
+    /// expires (they keep their pool threads until their connections
+    /// close, but the server itself is gone). After this returns, the
+    /// server holds no strong store reference.
     pub fn drain(self, deadline: Duration) -> DrainReport {
         self.state.draining.store(true, Ordering::SeqCst);
         // The acceptor may be parked in accept(); a throwaway local
@@ -192,24 +231,25 @@ impl Server {
         }
         let started = Instant::now();
         let _ = self.acceptor.join();
-        // The acceptor exit dropped `conn_tx`; workers drain whatever
-        // was queued, then see the disconnect and report done.
+        // No new connections can arrive; active drainers finish their
+        // current connections, pop the remaining queue dry, and retire
+        // (signalling `idle` as they go).
         let mut forced = false;
-        for _ in 0..self.workers.len() {
+        let mut queue = lock(&self.dispatch);
+        while queue.active > 0 || !queue.queue.is_empty() {
             let left = deadline.saturating_sub(started.elapsed());
-            match self.done_rx.recv_timeout(left) {
-                Ok(()) => {}
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    forced = true;
-                    break;
-                }
+            if left.is_zero() {
+                forced = true;
+                break;
             }
+            let (guard, _timeout) = self
+                .dispatch
+                .idle
+                .wait_timeout(queue, left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            queue = guard;
         }
-        if !forced {
-            for handle in self.workers {
-                let _ = handle.join();
-            }
-        }
+        drop(queue);
         DrainReport {
             forced,
             stats: self.state.stats.snapshot(),
@@ -217,13 +257,27 @@ impl Server {
     }
 }
 
+/// The acceptor's admission decision, made in one dispatch critical
+/// section so it cannot race a drainer's retire decision.
+enum Admit {
+    /// Below the drainer cap: start a new drainer with this connection.
+    Spawn(Conn),
+    /// Cap reached but the queue had room: an active drainer will pop it.
+    Queued,
+    /// Cap reached and queue full: shed.
+    Shed(Conn),
+}
+
 fn accept_loop(
     listener: &TcpListener,
-    state: &ServiceState,
+    state: &Arc<ServiceState>,
     shedder: &Shedder,
-    conn_tx: SyncSender<Conn>,
-    max_connections: u64,
+    dispatch: &Arc<Dispatch>,
+    pool: &Arc<WorkerPool>,
+    config: &ServerConfig,
 ) {
+    let workers = config.workers.max(1);
+    let queue_depth = config.queue_depth.max(1);
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -245,16 +299,44 @@ fn accept_loop(
             break;
         }
         state.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        let Some(permit) = Permit::try_acquire(&state.stats, max_connections) else {
+        let Some(permit) = Permit::try_acquire(&state.stats, config.max_connections) else {
             shedder.shed(&state.stats, stream);
             continue;
         };
-        match conn_tx.try_send(Conn { stream, permit }) {
-            Ok(()) => {
+        let conn = Conn { stream, permit };
+        let decision = {
+            let mut queue = lock(dispatch);
+            if queue.active < workers {
+                queue.active += 1;
+                Admit::Spawn(conn)
+            } else if queue.queue.len() < queue_depth {
+                queue.queue.push_back(conn);
+                Admit::Queued
+            } else {
+                Admit::Shed(conn)
+            }
+        };
+        match decision {
+            Admit::Spawn(conn) => {
+                state.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                let task_state = Arc::clone(state);
+                let task_dispatch = Arc::clone(dispatch);
+                let task_config = config.clone();
+                let spawned =
+                    pool.spawn(move || drainer(&task_state, &task_dispatch, &task_config, conn));
+                if spawned.is_err() {
+                    // Pool shut down (process teardown): the closure —
+                    // and with it the connection and its permit — was
+                    // dropped by the failed submit; give the active
+                    // slot back so drain() still quiesces.
+                    let mut queue = lock(dispatch);
+                    queue.active -= 1;
+                }
+            }
+            Admit::Queued => {
                 state.stats.admitted.fetch_add(1, Ordering::Relaxed);
             }
-            Err(std::sync::mpsc::TrySendError::Full(conn))
-            | Err(std::sync::mpsc::TrySendError::Disconnected(conn)) => {
+            Admit::Shed(conn) => {
                 // Queue full: release the permit first (drop order),
                 // then shed the socket.
                 let Conn { stream, permit } = conn;
@@ -265,17 +347,17 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<Conn>>>, state: &Arc<ServiceState>, config: &ServerConfig) {
+/// One drainer task: serve the handed-off connection, then keep
+/// popping the server's queue until it runs dry, and only then retire
+/// — giving the pool thread back. The retire decision shares the
+/// dispatch critical section with the acceptor's spawn decision, so a
+/// connection is never left queued without a drainer responsible for
+/// it.
+fn drainer(state: &Arc<ServiceState>, dispatch: &Dispatch, config: &ServerConfig, first: Conn) {
     let mut reader = SnapshotReader::new(&state.hub);
+    let mut conn = first;
     loop {
-        // Take the lock only to dequeue, never while serving.
-        let conn = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv()
-        };
-        let Ok(Conn { stream, permit }) = conn else {
-            break; // acceptor gone and queue drained
-        };
+        let Conn { stream, permit } = conn;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             // The permit moves into the closure: released on return
             // *and* on unwind, so panics cannot leak gauge slots.
@@ -284,6 +366,16 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Conn>>>, state: &Arc<ServiceState>, confi
         }));
         if outcome.is_err() {
             state.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut queue = lock(dispatch);
+        match queue.queue.pop_front() {
+            Some(next) => conn = next,
+            None => {
+                queue.active -= 1;
+                drop(queue);
+                dispatch.idle.notify_all();
+                return;
+            }
         }
     }
 }
